@@ -1,0 +1,83 @@
+"""Shared harness for the ablation benches.
+
+Runs the SPEC quartet on a 4 MB molecular cache (1 cluster x 4 tiles, a
+10% goal) under a configurable resize policy / placement / RNG and reports
+the average deviation plus resize-engine activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import average_deviation
+from repro.common.rng import DeterministicRNG
+from repro.molecular.cache import MolecularCache
+from repro.molecular.config import MolecularCacheConfig, ResizePolicy
+from repro.sim.cmp import CMPRunConfig, CMPRunner
+from repro.sim.experiments.common import DEFAULT_MISS_PENALTY, build_traces
+from repro.sim.scale import scaled
+
+APPS = ("art", "ammp", "parser", "mcf")
+GOAL = 0.10
+
+
+@dataclass(slots=True)
+class AblationOutcome:
+    label: str
+    deviation: float
+    miss_rates: dict[str, float]
+    resize_events: int
+    molecules_granted: int
+    molecules_withdrawn: int
+    cache: MolecularCache
+
+    def row(self) -> list:
+        return [
+            self.label,
+            self.deviation,
+            self.resize_events,
+            self.molecules_granted,
+            self.molecules_withdrawn,
+        ]
+
+
+def run_quartet(
+    label: str,
+    resize_policy: ResizePolicy,
+    placement: str = "randy",
+    rng: DeterministicRNG | None = None,
+    size_mb: int = 4,
+    refs_per_app: int = 250_000,
+    initial_molecules: int | None = None,
+    goals: dict[int, float | None] | None = None,
+    seed: int = 1,
+) -> AblationOutcome:
+    refs = scaled(refs_per_app)
+    config = MolecularCacheConfig.for_total_size(
+        size_mb << 20, clusters=1, tiles_per_cluster=4, strict=False
+    )
+    cache = MolecularCache(config, resize_policy=resize_policy, rng=rng,
+                           placement=placement)
+    if goals is None:
+        goals = {asid: GOAL for asid in range(len(APPS))}
+    for asid in range(len(APPS)):
+        cache.assign_application(
+            asid, goal=goals.get(asid), tile_id=asid,
+            initial_molecules=initial_molecules,
+        )
+    traces = build_traces(list(APPS), refs, seed)
+    runner = CMPRunner(cache, CMPRunConfig(DEFAULT_MISS_PENALTY, refs))
+    result = runner.run(traces)
+    rates = result.miss_rates()
+    return AblationOutcome(
+        label=label,
+        deviation=average_deviation(rates, goals),
+        miss_rates={APPS[a]: r for a, r in rates.items()},
+        resize_events=cache.stats.resize_events,
+        molecules_granted=cache.stats.molecules_granted,
+        molecules_withdrawn=cache.stats.molecules_withdrawn,
+        cache=cache,
+    )
+
+
+HEADERS = ["variant", "avg deviation", "resizes", "granted", "withdrawn"]

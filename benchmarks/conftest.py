@@ -1,0 +1,28 @@
+"""Shared plumbing for the benchmark suite.
+
+Every bench runs its experiment exactly once (``benchmark.pedantic`` with
+one round — these are minutes-long simulations, not microbenchmarks),
+prints the same rows/series the paper's table or figure reports, and saves
+the text into ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Scale with ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=0.25`` for a quick pass).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n{'#' * 70}\n{text}\n{'#' * 70}"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

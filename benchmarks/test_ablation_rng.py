@@ -1,0 +1,63 @@
+"""Ablation: RNG entropy for the Random placement policy (section 3.3).
+
+The paper warns that Random replacement's load balancing "is highly
+dependent on the entropy of the random number generator implemented in
+hardware". This bench compares a high-quality xorshift64* against a
+16-bit LFSR (a cheap hardware generator) and against the LRU-Direct
+future-work policy, under identical workloads.
+"""
+
+from conftest import emit, run_once
+
+from ablation_common import HEADERS, run_quartet
+from repro.common.rng import LFSR16, XorShift64
+from repro.molecular.config import ResizePolicy
+from repro.sim.report import format_table
+
+
+def run_all():
+    policy = ResizePolicy()
+    return [
+        run_quartet("random + xorshift64", policy, placement="random",
+                    rng=XorShift64(7)),
+        run_quartet("random + lfsr16", policy, placement="random",
+                    rng=LFSR16(0xACE1)),
+        run_quartet("randy + xorshift64", policy, placement="randy",
+                    rng=XorShift64(7)),
+        run_quartet("randy + lfsr16", policy, placement="randy",
+                    rng=LFSR16(0xACE1)),
+        run_quartet("lru_direct", policy, placement="lru_direct"),
+    ]
+
+
+def test_rng_entropy_ablation(benchmark):
+    outcomes = run_once(benchmark, run_all)
+    emit(
+        "ablation_rng",
+        format_table(
+            HEADERS,
+            [o.row() for o in outcomes],
+            title="Ablation — placement policy x RNG entropy (4MB molecular)",
+        ),
+    )
+    by_label = {o.label: o for o in outcomes}
+
+    # All variants operate correctly and in a sane band.
+    for outcome in outcomes:
+        assert 0.0 < outcome.deviation < 0.5
+
+    # Randy's sensitivity to RNG entropy is bounded: its random choice is
+    # only within a row (few molecules), so the weak LFSR moves its
+    # deviation by less than 50% relative.
+    randy_gap = abs(
+        by_label["randy + lfsr16"].deviation
+        - by_label["randy + xorshift64"].deviation
+    )
+    assert randy_gap <= 0.5 * by_label["randy + xorshift64"].deviation + 0.02
+
+    # LRU-Direct (the paper's future-work scheme) is competitive with
+    # Randy — it replaces the in-row random choice with recency.
+    assert (
+        by_label["lru_direct"].deviation
+        <= by_label["randy + xorshift64"].deviation * 1.25
+    )

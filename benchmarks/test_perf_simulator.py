@@ -1,0 +1,73 @@
+"""Simulator-throughput microbenchmarks.
+
+Unlike the experiment benches (one long run each), these measure the
+library's own performance — accesses per second through each simulator
+layer — with proper multi-round statistics. Useful for catching
+performance regressions in the hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.caches.setassoc import SetAssociativeCache
+from repro.common.rng import XorShift64
+from repro.analysis.reuse import StackDistanceAnalyzer
+from repro.molecular import MolecularCache, MolecularCacheConfig, ResizePolicy
+from repro.workloads import spec_model
+
+N_REFS = 50_000
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    rng = np.random.default_rng(1)
+    return rng.integers(0, 1 << 14, size=N_REFS).tolist()
+
+
+def test_perf_setassoc_access(benchmark, blocks):
+    def run():
+        cache = SetAssociativeCache(1 << 20, 4)
+        access = cache.access_block
+        for block in blocks:
+            access(block)
+        return cache.stats.total.accesses
+
+    assert benchmark(run) == N_REFS
+
+
+def test_perf_molecular_access(benchmark, blocks):
+    config = MolecularCacheConfig.for_total_size(
+        1 << 20, clusters=1, tiles_per_cluster=4, strict=False
+    )
+
+    def run():
+        cache = MolecularCache(
+            config,
+            resize_policy=ResizePolicy(),
+            rng=XorShift64(5),
+        )
+        cache.assign_application(0, goal=0.2, tile_id=0)
+        access = cache.access_block
+        for block in blocks:
+            access(block, 0)
+        return cache.stats.total.accesses
+
+    assert benchmark(run) == N_REFS
+
+
+def test_perf_trace_generation(benchmark):
+    model = spec_model("parser")
+
+    def run():
+        return len(model.generate(N_REFS, seed=3))
+
+    assert benchmark(run) == N_REFS
+
+
+def test_perf_stack_distance(benchmark, blocks):
+    def run():
+        analyzer = StackDistanceAnalyzer(capacity_hint=1 << 16)
+        analyzer.run(blocks)
+        return analyzer.references
+
+    assert benchmark(run) == N_REFS

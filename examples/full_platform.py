@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Full-platform demo: coherent cores over a molecular L2.
+
+Composes every layer of the library — per-core L1s kept coherent by a
+snooping MESI bus, a molecular last-level cache with per-application
+regions, and latency-driven core timing — and compares per-core
+throughput against the same cores over a shared traditional L2.
+
+Run:
+    python examples/full_platform.py
+"""
+
+import numpy as np
+
+from repro import SetAssociativeCache
+from repro.molecular import MolecularCache, MolecularCacheConfig, ResizePolicy
+from repro.sim.platform import CMPPlatform, PlatformConfig
+from repro.trace.container import Trace
+from repro.workloads import BenchmarkModel, RingComponent
+
+REFS = 150_000
+CORES = 4
+
+# Two cache-friendly cores, two capacity-hungry streaming cores.
+MODELS = {
+    0: BenchmarkModel("friendly-a", (RingComponent(0.97, 1_500, 8),
+                                     RingComponent(0.03, 1 << 21, 1))),
+    1: BenchmarkModel("friendly-b", (RingComponent(0.97, 2_000, 8),
+                                     RingComponent(0.03, 1 << 21, 1))),
+    2: BenchmarkModel("stream-a", (RingComponent(1.0, 20_000, 32),)),
+    3: BenchmarkModel("stream-b", (RingComponent(1.0, 24_000, 32),)),
+}
+
+
+def build_traces() -> dict[int, Trace]:
+    return {
+        core: model.generate(REFS, seed=7, asid=core)
+        for core, model in MODELS.items()
+    }
+
+
+def report(label: str, platform: CMPPlatform, result) -> None:
+    print(f"\n{label}")
+    for core in sorted(result.cores):
+        r = result.cores[core]
+        print(
+            f"  core {core} ({MODELS[core].name:10s}): "
+            f"{r.references_per_kcycle:7.1f} refs/kcycle, "
+            f"L1 hit rate {r.l1_hit_rate:.3f}"
+        )
+    bus = platform.bus.stats
+    print(f"  coherence: {bus.bus_transactions} bus transactions, "
+          f"{bus.invalidations_received} invalidations")
+
+
+def main() -> None:
+    config = PlatformConfig(l1_size_bytes=8 * 1024, l1_associativity=2,
+                            warmup_refs=CORES * REFS // 8)
+    traces = build_traces()
+
+    # --- traditional shared L2 ------------------------------------------
+    shared = CMPPlatform(CORES, SetAssociativeCache(2 << 20, 4), config)
+    result = shared.run(traces)
+    report("Shared 2MB 4-way L2:", shared, result)
+    baseline = {c: result.throughput(c) for c in range(CORES)}
+
+    # --- molecular L2 with per-core regions ------------------------------
+    l2_config = MolecularCacheConfig.for_total_size(
+        2 << 20, clusters=1, tiles_per_cluster=4
+    )
+    molecular = MolecularCache(l2_config, resize_policy=ResizePolicy())
+    # QoS goals for the cache-friendly cores; the hopeless streamers are
+    # left unmanaged (they keep their initial half-tile and cannot crowd
+    # out the managed regions).
+    goals = {0: 0.10, 1: 0.10, 2: None, 3: None}
+    for core in range(CORES):
+        molecular.assign_application(core, goal=goals[core], tile_id=core)
+    platform = CMPPlatform(CORES, molecular, config)
+    result = platform.run(traces)
+    report("Molecular 2MB L2 (10% goals):", platform, result)
+
+    print("\nMolecular L2 partitions:")
+    for core, size in molecular.partition_sizes().items():
+        region = molecular.regions[core]
+        goal_text = f"goal {region.goal:.0%}" if region.goal else "unmanaged"
+        print(f"  core {core} ({MODELS[core].name:10s}): {size:3d} molecules, "
+              f"L2 miss rate {region.miss_rate:.3f} ({goal_text})")
+
+    print("\nThroughput change vs the shared baseline:")
+    for core in range(CORES):
+        change = result.throughput(core) / baseline[core] - 1.0
+        print(f"  core {core} ({MODELS[core].name:10s}): {change:+.1%}")
+    print(
+        "\nThe molecular L2's value is QoS: the managed cores sit at their "
+        "miss-rate\ngoals inside guaranteed partitions, immune to the "
+        "streamers. The paper\nevaluates exactly this (deviation from goal, "
+        "and dynamic power) — raw access\nlatency is the trade-off: the "
+        "ASID stage and hierarchical search add cycles,\nwhich this "
+        "platform model charges faithfully."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Multiprogrammed QoS: the paper's core scenario on a small scale.
+
+Four SPEC-like applications (art, ammp, parser, mcf) share a last-level
+cache on a CMP. We compare:
+
+1. a traditional shared 4 MB 4-way LRU cache (inter-application
+   interference, no QoS control), and
+2. a 4 MB molecular cache with a 10% miss-rate goal for art/ammp/parser
+   (mcf left unmanaged, as in Figure 5 graph B),
+
+both driven through the throttled CMP execution model.
+
+Run:
+    python examples/multiprogram_qos.py
+"""
+
+from repro import CMPRunConfig, CMPRunner, SetAssociativeCache
+from repro.analysis.metrics import average_deviation, deviations
+from repro.molecular import MolecularCache, MolecularCacheConfig, ResizePolicy
+from repro.workloads import spec_model
+
+APPS = ("art", "ammp", "parser", "mcf")
+GOALS = {0: 0.10, 1: 0.10, 2: 0.10, 3: None}  # mcf unmanaged
+REFS = 300_000
+
+
+def build_traces():
+    return {
+        asid: spec_model(name).generate(REFS, seed=1, asid=asid)
+        for asid, name in enumerate(APPS)
+    }
+
+
+def show(label: str, miss_rates: dict[int, float]) -> None:
+    print(f"\n{label}")
+    per_app = deviations(miss_rates, GOALS)
+    for asid, name in enumerate(APPS):
+        goal = GOALS[asid]
+        goal_text = f"goal {goal:.0%}, deviation {per_app[asid]:.3f}" if goal else "unmanaged"
+        print(f"  {name:8s} miss rate {miss_rates[asid]:.3f}  ({goal_text})")
+    print(f"  average deviation: {average_deviation(miss_rates, GOALS):.3f}")
+
+
+def main() -> None:
+    traces = build_traces()
+    run_config = CMPRunConfig(miss_penalty=10, warmup_refs=REFS)
+
+    # --- baseline: shared traditional cache -----------------------------
+    shared = SetAssociativeCache(4 << 20, 4, name="4MB 4-way shared")
+    result = CMPRunner(shared, run_config).run(traces)
+    show("Shared 4MB 4-way LRU (no isolation):", result.miss_rates())
+
+    # --- molecular cache with per-application regions -------------------
+    config = MolecularCacheConfig.for_total_size(
+        4 << 20, clusters=1, tiles_per_cluster=4
+    )
+    molecular = MolecularCache(config, resize_policy=ResizePolicy())
+    for asid in range(len(APPS)):
+        molecular.assign_application(asid, goal=GOALS[asid], tile_id=asid)
+    result = CMPRunner(molecular, run_config).run(traces)
+    show("4MB molecular cache (Randy, 10% goals, mcf unmanaged):", result.miss_rates())
+
+    print("\nPartition sizes after the run (molecules of 8KB):")
+    for asid, size in molecular.partition_sizes().items():
+        print(f"  {APPS[asid]:8s} {size:4d} molecules ({size * 8} KB)")
+    print(f"  free: {molecular.free_molecules()} molecules")
+    print(
+        "\nThe molecular cache trades mcf's hopeless stream for guaranteed "
+        "goals on the\nthree manageable applications — the behaviour behind "
+        "Figure 5 graph B."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Resize-policy explorer: watch Algorithm 1 react to a phase change.
+
+A single application with two program phases (the working set drifts to
+fresh addresses halfway through the run) is driven against molecular
+caches with different resize triggers. The per-window partition size and
+miss rate show how each trigger tracks the phase change.
+
+Run:
+    python examples/resize_policies.py
+"""
+
+from repro.molecular import MolecularCache, MolecularCacheConfig, ResizePolicy
+from repro.workloads import BenchmarkModel, RingComponent
+
+PHASED = BenchmarkModel(
+    name="phased",
+    components=(
+        # the hot set moves to entirely new addresses at the phase change
+        RingComponent(weight=0.80, blocks=6_000, run_length=8, drift=True),
+        RingComponent(weight=0.17, blocks=600, run_length=4),
+        RingComponent(weight=0.03, blocks=1 << 21, run_length=1),
+    ),
+    phases=2,
+)
+REFS = 300_000
+WINDOW = 25_000
+GOAL = 0.15
+
+
+def run(trigger: str) -> list[tuple[int, int, float]]:
+    config = MolecularCacheConfig.for_total_size(
+        1 << 20, clusters=1, tiles_per_cluster=4
+    )
+    cache = MolecularCache(
+        config, resize_policy=ResizePolicy(trigger=trigger), placement="randy"
+    )
+    region = cache.assign_application(0, goal=GOAL, tile_id=0)
+    trace = PHASED.generate(REFS, seed=4, asid=0)
+    samples = []
+    blocks = trace.blocks().tolist()
+    for start in range(0, REFS, WINDOW):
+        window_miss = 0
+        for block in blocks[start : start + WINDOW]:
+            window_miss += cache.access_block(block, 0).miss
+        samples.append(
+            (start + WINDOW, region.molecule_count, window_miss / WINDOW)
+        )
+    return samples
+
+
+def main() -> None:
+    runs = {trigger: run(trigger) for trigger in
+            ("constant", "global_adaptive", "per_app_adaptive")}
+    print(f"Phase change at reference {REFS // 2:,} "
+          f"(working set moves to fresh addresses); goal = {GOAL:.0%}\n")
+    header = f"{'refs':>8}"
+    for trigger in runs:
+        header += f"  | {trigger:^24}"
+    print(header)
+    sub = f"{'':>8}"
+    for _ in runs:
+        sub += f"  | {'molecules':>10} {'miss':>10}"
+    print(sub)
+    for index in range(REFS // WINDOW):
+        row = f"{(index + 1) * WINDOW:>8}"
+        for samples in runs.values():
+            refs, molecules, miss = samples[index]
+            row += f"  | {molecules:>10} {miss:>10.3f}"
+        print(row)
+
+    print(
+        "\nAll triggers grow the partition back after the phase change; the "
+        "adaptive\nschemes shorten their period while the goal is missed "
+        "(reacting within a\nwindow or two) and stretch it once the miss "
+        "rate settles — the behaviour\nsection 3.4 of the paper describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Molecular Caches (MICRO 2006) — a full reproduction library.
+
+Varadarajan et al., "Molecular Caches: A caching structure for dynamic
+creation of application-specific Heterogeneous cache regions".
+
+Public API highlights
+---------------------
+* :class:`repro.molecular.MolecularCache` — the paper's cache: molecules,
+  tiles, clusters/Ulmo, Random/Randy placement, Algorithm-1 resizing.
+* :class:`repro.caches.SetAssociativeCache` — the traditional baselines.
+* :mod:`repro.workloads` — SPEC/NetBench/MediaBench stand-in models.
+* :class:`repro.sim.CMPRunner` — the throttled CMP execution model.
+* :mod:`repro.power` — the CACTI-like timing/power model.
+* :mod:`repro.sim.experiments` — ``run_table1`` ... ``run_table5``,
+  ``run_figure5``, ``run_figure6``: one harness per table/figure.
+
+Quick start::
+
+    from repro import MolecularCache, MolecularCacheConfig
+    cache = MolecularCache(MolecularCacheConfig())
+    cache.assign_application(asid=0, goal=0.10)
+    cache.access_block(block=1234, asid=0)
+"""
+
+from repro.caches import CacheHierarchy, SetAssociativeCache
+from repro.common import Access, AccessResult, AccessType
+from repro.molecular import (
+    MolecularCache,
+    MolecularCacheConfig,
+    ResizePolicy,
+)
+from repro.power import CacheOrganization, CactiModel, MolecularEnergyModel
+from repro.sim import CMPRunConfig, CMPRunner
+from repro.trace import Trace
+from repro.workloads import BenchmarkModel, RingComponent, get_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Access",
+    "AccessResult",
+    "AccessType",
+    "BenchmarkModel",
+    "CMPRunConfig",
+    "CMPRunner",
+    "CacheHierarchy",
+    "CacheOrganization",
+    "CactiModel",
+    "MolecularCache",
+    "MolecularCacheConfig",
+    "MolecularEnergyModel",
+    "ResizePolicy",
+    "RingComponent",
+    "SetAssociativeCache",
+    "Trace",
+    "get_model",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Evaluation metrics: deviation from miss-rate goals, HPM, summaries."""
+
+from repro.analysis.metrics import (
+    DeviationMode,
+    average_deviation,
+    deviations,
+    hits_per_molecule,
+)
+
+__all__ = [
+    "DeviationMode",
+    "average_deviation",
+    "deviations",
+    "hits_per_molecule",
+]

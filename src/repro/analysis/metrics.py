@@ -1,0 +1,77 @@
+"""The paper's evaluation metrics.
+
+*Average deviation from the miss-rate goal* is the paper's primary QoS
+metric (Figure 5, Table 2). We default to the **absolute** deviation
+``|miss_rate - goal|``: Algorithm 1 deliberately withdraws capacity from
+applications running *below* goal, i.e. it converges partitions *to* the
+goal, and only the absolute form rewards that (DESIGN.md section 4). The
+positive-only variant (``EXCESS_ONLY``) is available for sensitivity
+studies.
+
+*HPM (hits per molecule)* is the paper's replacement-policy efficiency
+metric (Figure 6): an application's hit rate divided by the time-averaged
+number of molecules allocated to it — "the replacement scheme that
+achieves a lower miss rate with a lesser number of molecules is more
+effective".
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+
+from repro.common.errors import ConfigError
+
+
+class DeviationMode(enum.Enum):
+    """How a miss rate's distance from its goal is scored."""
+
+    ABSOLUTE = "absolute"
+    EXCESS_ONLY = "excess_only"
+
+    def score(self, miss_rate: float, goal: float) -> float:
+        if self is DeviationMode.ABSOLUTE:
+            return abs(miss_rate - goal)
+        return max(0.0, miss_rate - goal)
+
+
+def deviations(
+    miss_rates: Mapping[int, float],
+    goals: Mapping[int, float | None],
+    mode: DeviationMode = DeviationMode.ABSOLUTE,
+) -> dict[int, float]:
+    """Per-application deviation; unmanaged applications (goal None) are
+    excluded from the result."""
+    result: dict[int, float] = {}
+    for asid, goal in goals.items():
+        if goal is None:
+            continue
+        if asid not in miss_rates:
+            raise ConfigError(f"no miss rate recorded for asid {asid}")
+        if not 0.0 <= goal <= 1.0:
+            raise ConfigError(f"goal for asid {asid} must be in [0, 1], got {goal}")
+        result[asid] = mode.score(miss_rates[asid], goal)
+    return result
+
+
+def average_deviation(
+    miss_rates: Mapping[int, float],
+    goals: Mapping[int, float | None],
+    mode: DeviationMode = DeviationMode.ABSOLUTE,
+) -> float:
+    """Mean deviation over the managed applications (the paper's metric)."""
+    per_app = deviations(miss_rates, goals, mode)
+    if not per_app:
+        raise ConfigError("no managed applications (every goal is None)")
+    return sum(per_app.values()) / len(per_app)
+
+
+def hits_per_molecule(hit_rate: float, mean_molecules: float) -> float:
+    """HPM: hit rate per time-averaged molecule (paper Figure 6)."""
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ConfigError(f"hit rate must be in [0, 1], got {hit_rate}")
+    if mean_molecules < 0:
+        raise ConfigError("mean molecule count cannot be negative")
+    if mean_molecules == 0:
+        return 0.0
+    return hit_rate / mean_molecules

@@ -1,0 +1,148 @@
+"""Reuse-distance (LRU stack distance) analysis — Mattson's algorithm.
+
+For an access stream, the *stack distance* of a reference is the number of
+distinct blocks touched since the previous reference to the same block.
+A fully-associative LRU cache of capacity ``C`` hits exactly the
+references with stack distance < ``C`` (Mattson et al., 1970), so one pass
+over a trace yields the *entire* miss-rate-vs-capacity curve.
+
+This is the substrate behind workload calibration (the ring-mixture
+models' capacity behaviour can be validated against their measured stack
+distance histograms) and a generally useful cache-analysis tool.
+
+The implementation keeps the LRU stack implicitly: each block's last
+access time is stored, and a Fenwick (binary indexed) tree over access
+times counts how many *distinct* blocks were touched more recently —
+O(log n) per reference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+#: Histogram bucket recording cold (first-touch) references.
+COLD = -1
+
+
+class _Fenwick:
+    """Fenwick tree over access-time slots (1-based internally)."""
+
+    def __init__(self, size: int) -> None:
+        self._tree = [0] * (size + 1)
+        self.size = size
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index <= self.size:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of slots [0, index]."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+    def total(self) -> int:
+        return self.prefix_sum(self.size - 1)
+
+
+class StackDistanceAnalyzer:
+    """One-pass Mattson stack-distance histogram builder."""
+
+    def __init__(self, capacity_hint: int = 1 << 20) -> None:
+        if capacity_hint < 1:
+            raise ConfigError("capacity_hint must be positive")
+        self._tree = _Fenwick(capacity_hint)
+        self._last_time: dict[int, int] = {}
+        self._clock = 0
+        self.histogram: dict[int, int] = {}
+
+    def record(self, block: int) -> int:
+        """Process one reference; returns its stack distance (COLD if new)."""
+        if self._clock >= self._tree.size:
+            self._grow()
+        previous = self._last_time.get(block)
+        if previous is None:
+            distance = COLD
+        else:
+            # distinct blocks touched strictly after `previous`
+            distance = self._tree.total() - self._tree.prefix_sum(previous)
+            self._tree.add(previous, -1)
+        self._tree.add(self._clock, 1)
+        self._last_time[block] = self._clock
+        self._clock += 1
+        self.histogram[distance] = self.histogram.get(distance, 0) + 1
+        return distance
+
+    def _grow(self) -> None:
+        old = self._tree
+        grown = _Fenwick(old.size * 2)
+        for block, time in self._last_time.items():
+            grown.add(time, 1)
+        self._tree = grown
+
+    def run(self, blocks: Iterable[int]) -> "StackDistanceAnalyzer":
+        for block in blocks:
+            self.record(block)
+        return self
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def references(self) -> int:
+        return self._clock
+
+    @property
+    def distinct_blocks(self) -> int:
+        return len(self._last_time)
+
+    def miss_curve(self, capacities: Iterable[int]) -> dict[int, float]:
+        """Miss rate of a fully-associative LRU cache at each capacity.
+
+        A reference hits iff its stack distance is < capacity; cold
+        references always miss.
+        """
+        if self._clock == 0:
+            raise ConfigError("no references recorded")
+        distances = sorted(d for d in self.histogram if d != COLD)
+        counts = np.array([self.histogram[d] for d in distances], dtype=np.int64)
+        cumulative = np.cumsum(counts)
+        curve: dict[int, float] = {}
+        for capacity in capacities:
+            if capacity < 0:
+                raise ConfigError("capacities must be non-negative")
+            index = np.searchsorted(distances, capacity, side="left") - 1
+            hits = int(cumulative[index]) if index >= 0 else 0
+            curve[capacity] = 1.0 - hits / self._clock
+        return curve
+
+    def mean_distance(self) -> float:
+        """Mean finite stack distance (cold references excluded)."""
+        total = 0
+        count = 0
+        for distance, n in self.histogram.items():
+            if distance == COLD:
+                continue
+            total += distance * n
+            count += n
+        return total / count if count else 0.0
+
+    def cold_fraction(self) -> float:
+        if self._clock == 0:
+            return 0.0
+        return self.histogram.get(COLD, 0) / self._clock
+
+
+def miss_curve(blocks: Iterable[int], capacities: Iterable[int]) -> dict[int, float]:
+    """One-shot convenience wrapper: LRU miss rates at the given capacities."""
+    analyzer = StackDistanceAnalyzer()
+    analyzer.run(blocks)
+    return analyzer.miss_curve(capacities)

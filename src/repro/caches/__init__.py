@@ -1,0 +1,45 @@
+"""Traditional set-associative cache simulator (the paper's baselines).
+
+This package is the modified-Dinero equivalent the paper runs its traces
+through: direct-mapped and N-way set-associative caches with LRU / FIFO /
+Random replacement, per-ASID statistics for shared-cache studies, and a
+two-level (per-core L1 + shared L2) hierarchy.
+"""
+
+from repro.caches.coherence import (
+    CoherenceStats,
+    CoherentL1,
+    MESIState,
+    SnoopingBus,
+)
+from repro.caches.line import CacheLine
+from repro.caches.partitioned import ColumnCache, ModifiedLRUCache
+from repro.caches.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    make_replacement_policy,
+)
+from repro.caches.setassoc import SetAssociativeCache
+from repro.caches.stats import AsidCounters, CacheStats
+from repro.caches.hierarchy import CacheHierarchy
+
+__all__ = [
+    "AsidCounters",
+    "CacheHierarchy",
+    "CacheLine",
+    "CacheStats",
+    "CoherenceStats",
+    "CoherentL1",
+    "ColumnCache",
+    "ModifiedLRUCache",
+    "FIFOReplacement",
+    "LRUReplacement",
+    "MESIState",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "SnoopingBus",
+    "make_replacement_policy",
+]

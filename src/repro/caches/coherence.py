@@ -1,0 +1,230 @@
+"""MESI coherence for private L1 caches above a shared last-level cache.
+
+The paper's Figure 2 lists a "Cache Coherency Unit" among Ulmo's
+responsibilities: with per-core L1s above the (molecular or traditional)
+shared cache, lines cached privately must stay coherent. This module
+implements a classic snooping MESI protocol:
+
+* every L1 line carries a state — Modified / Exclusive / Shared / Invalid;
+* a read miss broadcasts ``BusRd``: a Modified holder supplies the line
+  (writing it back) and both end Shared; with no other holder the
+  requester loads Exclusive;
+* a write miss broadcasts ``BusRdX`` (everyone else invalidates); a write
+  to a Shared line broadcasts ``BusUpgr``;
+* silent E->M upgrade on a write hit.
+
+The shared level below can be any object with ``access_block`` — a
+:class:`~repro.caches.SetAssociativeCache` or a
+:class:`~repro.molecular.MolecularCache` — which is exactly how the
+molecular cache composes with coherent cores.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.caches.setassoc import SetAssociativeCache
+from repro.common.errors import ConfigError, SimulationError
+
+
+class MESIState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass(slots=True)
+class CoherenceStats:
+    """Protocol activity counters."""
+
+    bus_reads: int = 0
+    bus_read_exclusives: int = 0
+    bus_upgrades: int = 0
+    invalidations_received: int = 0
+    interventions: int = 0  # a Modified holder supplied the line
+    writebacks: int = 0
+    read_hits: int = 0
+    write_hits: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+
+    @property
+    def bus_transactions(self) -> int:
+        return self.bus_reads + self.bus_read_exclusives + self.bus_upgrades
+
+
+class CoherentL1:
+    """A private L1 with MESI state per resident line."""
+
+    def __init__(self, core_id: int, size_bytes: int, associativity: int,
+                 line_bytes: int = 64) -> None:
+        self.core_id = core_id
+        self.cache = SetAssociativeCache(
+            size_bytes, associativity, line_bytes, name=f"L1[{core_id}]"
+        )
+        self.states: dict[int, MESIState] = {}
+
+    def state_of(self, block: int) -> MESIState:
+        return self.states.get(block, MESIState.INVALID)
+
+    def holds(self, block: int) -> bool:
+        return self.state_of(block) is not MESIState.INVALID
+
+    def _touch(self, block: int) -> int | None:
+        """Install/refresh a block in the data array; returns an evicted
+        block whose state must also be dropped."""
+        result = self.cache.access_block(block, self.core_id)
+        return result.evicted_block
+
+    def install(self, block: int, state: MESIState) -> int | None:
+        evicted = self._touch(block)
+        if evicted is not None and evicted != block:
+            self.states.pop(evicted, None)
+        self.states[block] = state
+        return evicted
+
+    def invalidate(self, block: int) -> MESIState:
+        previous = self.states.pop(block, MESIState.INVALID)
+        return previous
+
+    def downgrade(self, block: int) -> MESIState:
+        previous = self.state_of(block)
+        if previous in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
+            self.states[block] = MESIState.SHARED
+        return previous
+
+
+class SnoopingBus:
+    """N coherent L1s over one shared cache, connected by a snooping bus.
+
+    Parameters
+    ----------
+    cores:
+        Number of private L1s.
+    l1_size_bytes / l1_associativity / line_bytes:
+        Geometry of each L1.
+    shared_cache:
+        The next level (must expose ``access_block(block, asid, write)``).
+    asid_of_core:
+        ASID presented to the shared level for each core's traffic
+        (defaults to the core id — relevant when the shared level is a
+        molecular cache with per-application regions).
+    """
+
+    def __init__(
+        self,
+        cores: int,
+        shared_cache,
+        l1_size_bytes: int = 16 * 1024,
+        l1_associativity: int = 4,
+        line_bytes: int = 64,
+        asid_of_core: dict[int, int] | None = None,
+    ) -> None:
+        if cores < 1:
+            raise ConfigError("need at least one core")
+        self.l1s = [
+            CoherentL1(core, l1_size_bytes, l1_associativity, line_bytes)
+            for core in range(cores)
+        ]
+        self.shared = shared_cache
+        self.stats = CoherenceStats()
+        self._asid_of_core = asid_of_core or {}
+
+    def asid_of(self, core: int) -> int:
+        return self._asid_of_core.get(core, core)
+
+    # --------------------------------------------------------------- checks
+
+    def check_invariants(self) -> None:
+        """SWMR: at most one M/E holder per block; M/E excludes all others."""
+        holders: dict[int, list[tuple[int, MESIState]]] = {}
+        for l1 in self.l1s:
+            for block, state in l1.states.items():
+                holders.setdefault(block, []).append((l1.core_id, state))
+        for block, entries in holders.items():
+            exclusive = [e for e in entries if e[1] in
+                         (MESIState.MODIFIED, MESIState.EXCLUSIVE)]
+            if exclusive and len(entries) > 1:
+                raise SimulationError(
+                    f"block {block}: exclusive holder coexists with sharers: "
+                    f"{entries}"
+                )
+            if len(exclusive) > 1:  # pragma: no cover - caught above
+                raise SimulationError(f"block {block}: two exclusive holders")
+
+    # --------------------------------------------------------------- access
+
+    def read(self, core: int, block: int) -> bool:
+        """Core read; returns True on an L1 hit."""
+        l1 = self.l1s[core]
+        state = l1.state_of(block)
+        if state is not MESIState.INVALID:
+            self.stats.read_hits += 1
+            l1._touch(block)
+            return True
+
+        self.stats.read_misses += 1
+        self.stats.bus_reads += 1
+        shared_elsewhere = False
+        for other in self.l1s:
+            if other is l1:
+                continue
+            previous = other.downgrade(block)
+            if previous is MESIState.MODIFIED:
+                # Intervention: the dirty holder supplies the line and
+                # writes it back to the shared level.
+                self.stats.interventions += 1
+                self.stats.writebacks += 1
+                shared_elsewhere = True
+            elif previous in (MESIState.EXCLUSIVE, MESIState.SHARED):
+                shared_elsewhere = True
+        self.shared.access_block(block, self.asid_of(core), False)
+        l1.install(
+            block,
+            MESIState.SHARED if shared_elsewhere else MESIState.EXCLUSIVE,
+        )
+        return False
+
+    def write(self, core: int, block: int) -> bool:
+        """Core write; returns True on an L1 hit (M/E)."""
+        l1 = self.l1s[core]
+        state = l1.state_of(block)
+        if state is MESIState.MODIFIED:
+            self.stats.write_hits += 1
+            l1._touch(block)
+            return True
+        if state is MESIState.EXCLUSIVE:
+            self.stats.write_hits += 1
+            l1._touch(block)
+            l1.states[block] = MESIState.MODIFIED  # silent upgrade
+            return True
+        if state is MESIState.SHARED:
+            # Upgrade: invalidate the other sharers, no data transfer.
+            self.stats.write_hits += 1
+            self.stats.bus_upgrades += 1
+            self._invalidate_others(core, block)
+            l1._touch(block)
+            l1.states[block] = MESIState.MODIFIED
+            return True
+
+        self.stats.write_misses += 1
+        self.stats.bus_read_exclusives += 1
+        self._invalidate_others(core, block)
+        self.shared.access_block(block, self.asid_of(core), True)
+        l1.install(block, MESIState.MODIFIED)
+        return False
+
+    def _invalidate_others(self, core: int, block: int) -> None:
+        for other in self.l1s:
+            if other.core_id == core:
+                continue
+            previous = other.invalidate(block)
+            if previous is MESIState.MODIFIED:
+                self.stats.writebacks += 1
+            if previous is not MESIState.INVALID:
+                self.stats.invalidations_received += 1
+
+    def access(self, core: int, block: int, write: bool = False) -> bool:
+        return self.write(core, block) if write else self.read(core, block)

@@ -1,0 +1,77 @@
+"""Two-level cache hierarchy: per-core L1s in front of a shared L2.
+
+The paper's methodology records L1-data misses on a CMP simulator and feeds
+them to the L2 model. :class:`CacheHierarchy` reproduces that pipeline in
+one object for users who want to model the L1 explicitly; the experiment
+harnesses instead use workload models calibrated at the L2 (post-L1) level,
+as documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.caches.setassoc import SetAssociativeCache
+from repro.common.errors import ConfigError
+from repro.common.types import Access, AccessResult
+
+
+class CacheHierarchy:
+    """Per-core private L1 caches backed by one shared L2.
+
+    Parameters
+    ----------
+    l1_factory:
+        Zero-argument callable producing a fresh L1
+        :class:`SetAssociativeCache` for each core.
+    l2:
+        The shared second-level cache (any object with ``access_block``).
+    cores:
+        Number of cores, i.e. number of private L1s.
+    asid_to_core:
+        Optional mapping from ASID to core index. Defaults to
+        ``asid % cores`` (one application per core in the paper's setups).
+    """
+
+    def __init__(
+        self,
+        l1_factory,
+        l2,
+        cores: int,
+        asid_to_core: dict[int, int] | None = None,
+    ) -> None:
+        if cores < 1:
+            raise ConfigError(f"need at least one core, got {cores}")
+        self.cores = cores
+        self.l1s: list[SetAssociativeCache] = [l1_factory() for _ in range(cores)]
+        for index, l1 in enumerate(self.l1s):
+            if not l1.name or l1.name == self.l1s[0].name and index:
+                l1.name = f"L1[{index}]"
+        self.l2 = l2
+        self._asid_to_core = asid_to_core or {}
+        self.l2_accesses = 0
+
+    def core_for(self, asid: int) -> int:
+        return self._asid_to_core.get(asid, asid % self.cores)
+
+    def access(self, access: Access) -> AccessResult:
+        return self.access_block(
+            access.address >> self.l1s[0]._line_shift, access.asid, access.is_write
+        )
+
+    def access_block(self, block: int, asid: int = 0, write: bool = False) -> AccessResult:
+        """One reference: L1 first; L1 misses propagate to the shared L2."""
+        l1 = self.l1s[self.core_for(asid)]
+        l1_result = l1.access_block(block, asid, write)
+        if l1_result.hit:
+            return l1_result
+        self.l2_accesses += 1
+        # The L2 sees the miss as a read fill; the dirty bit lives in the L1
+        # until the victim is written back (writeback L1s are assumed).
+        l2_result = self.l2.access_block(block, asid, False)
+        l2_result.extra["l1_miss"] = True
+        return l2_result
+
+    def run(self, blocks, asids) -> None:
+        """Feed parallel iterables of block numbers and ASIDs."""
+        access_block = self.access_block
+        for block, asid in zip(blocks, asids):
+            access_block(block, asid)

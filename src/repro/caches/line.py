@@ -1,0 +1,21 @@
+"""Cache line bookkeeping record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """State of one resident cache line.
+
+    The simulators key their per-set maps by the full *block number* (byte
+    address divided by the line size), so the line record does not need to
+    store a tag — only the metadata that outlives the lookup: the dirty bit
+    (drives writeback counts) and the owning ASID (drives per-application
+    eviction statistics in shared caches).
+    """
+
+    block: int
+    asid: int = 0
+    dirty: bool = False

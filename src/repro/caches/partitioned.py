@@ -1,0 +1,235 @@
+"""Partitioned shared caches from the paper's related work (Suh et al.).
+
+Section 2 positions molecular caches against "the state of the art" in
+cache partitioning — Suh, Rudolph and Devadas' two schemes:
+
+* **Modified LRU** — replacement depends on the requesting process's
+  quota: "If the process has not exceeded its predefined space threshold,
+  a global replacement is performed, else a local replacement is
+  performed" (a victim from the process's own lines).
+* **Column caching** — "restricts some processes to place data in some
+  'columns' (i.e. ways) of a multi-way associative cache"; lookups still
+  search every way, placement is confined to the permitted columns.
+
+Both are implemented over the same per-set ``OrderedDict`` machinery as
+:class:`~repro.caches.SetAssociativeCache`, so they drop into every runner
+and experiment in the library. A comparison bench
+(`benchmarks/test_ablation_partitioning.py`) pits them against the
+molecular cache on the SPEC quartet.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.caches.line import CacheLine
+from repro.caches.stats import CacheStats
+from repro.common.bitops import ilog2, is_power_of_two
+from repro.common.errors import ConfigError
+from repro.common.types import Access, AccessResult
+
+
+class _PartitionedBase:
+    """Shared geometry/stats plumbing for the partitioned caches."""
+
+    def __init__(self, size_bytes: int, associativity: int, line_bytes: int,
+                 name: str) -> None:
+        if not is_power_of_two(size_bytes) or not is_power_of_two(line_bytes):
+            raise ConfigError("size and line size must be powers of two")
+        if associativity < 1:
+            raise ConfigError("associativity must be >= 1")
+        total_lines = size_bytes // line_bytes
+        if total_lines % associativity:
+            raise ConfigError("lines do not divide into sets")
+        num_sets = total_lines // associativity
+        if not is_power_of_two(num_sets):
+            raise ConfigError("number of sets must be a power of two")
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_bytes = line_bytes
+        self.num_sets = num_sets
+        self.name = name
+        self.stats = CacheStats()
+        self._line_shift = ilog2(line_bytes)
+        self._set_mask = num_sets - 1
+        self._sets: list[OrderedDict[int, CacheLine]] = [
+            OrderedDict() for _ in range(num_sets)
+        ]
+
+    def access(self, access: Access) -> AccessResult:
+        return self.access_block(
+            access.address >> self._line_shift, access.asid, access.is_write
+        )
+
+    def occupancy_by_asid(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                counts[line.asid] = counts.get(line.asid, 0) + 1
+        return counts
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class ModifiedLRUCache(_PartitionedBase):
+    """Suh et al.'s Modified LRU: quota-gated global/local replacement.
+
+    Parameters
+    ----------
+    quotas:
+        ``asid -> maximum resident lines``. Applications without an entry
+        are unconstrained (always global replacement). Quotas may be
+        changed at run time via :meth:`set_quota` (Suh's scheme re-derives
+        them periodically from marginal-gain counters; supplying that
+        outer loop is the caller's choice).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        associativity: int,
+        line_bytes: int = 64,
+        quotas: dict[int, int] | None = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(size_bytes, associativity, line_bytes,
+                         name or f"{size_bytes >> 10}KB modified-LRU")
+        self.quotas: dict[int, int] = dict(quotas or {})
+        self._resident: dict[int, int] = {}
+
+    def set_quota(self, asid: int, lines: int | None) -> None:
+        """Set (or clear, with ``None``) an application's line quota."""
+        if lines is None:
+            self.quotas.pop(asid, None)
+        elif lines < 0:
+            raise ConfigError("quota cannot be negative")
+        else:
+            self.quotas[asid] = lines
+
+    def resident_lines(self, asid: int) -> int:
+        return self._resident.get(asid, 0)
+
+    def _over_quota(self, asid: int) -> bool:
+        quota = self.quotas.get(asid)
+        return quota is not None and self._resident.get(asid, 0) >= quota
+
+    def access_block(self, block: int, asid: int = 0, write: bool = False) -> AccessResult:
+        cache_set = self._sets[block & self._set_mask]
+        line = cache_set.get(block)
+        if line is not None:
+            self.stats.record_access(asid, hit=True)
+            cache_set.move_to_end(block)
+            if write:
+                line.dirty = True
+            return AccessResult(hit=True)
+
+        self.stats.record_access(asid, hit=False)
+        evicted_block: int | None = None
+        writeback = False
+        if len(cache_set) >= self.associativity:
+            evicted_block = self._choose_victim(cache_set, asid)
+            victim = cache_set.pop(evicted_block)
+            writeback = victim.dirty
+            self._resident[victim.asid] = self._resident.get(victim.asid, 1) - 1
+            self.stats.record_eviction(victim.asid, writeback)
+        cache_set[block] = CacheLine(block=block, asid=asid, dirty=write)
+        self._resident[asid] = self._resident.get(asid, 0) + 1
+        return AccessResult(hit=False, evicted_block=evicted_block, writeback=writeback)
+
+    def _choose_victim(self, cache_set: OrderedDict[int, CacheLine], asid: int) -> int:
+        if self._over_quota(asid):
+            # Local replacement: the requester's own LRU line, if it has
+            # one in this set; otherwise fall back to global LRU.
+            for block, line in cache_set.items():
+                if line.asid == asid:
+                    return block
+        return next(iter(cache_set))
+
+
+class ColumnCache(_PartitionedBase):
+    """Suh et al.'s column caching: way-restricted placement.
+
+    Parameters
+    ----------
+    columns:
+        ``asid -> tuple of way indices`` the application may *place* lines
+        into. Applications without an entry may use every way. Lookups
+        always search the whole set (data placed before a re-assignment
+        remains reachable, as in the original proposal).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        associativity: int,
+        line_bytes: int = 64,
+        columns: dict[int, tuple[int, ...]] | None = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(size_bytes, associativity, line_bytes,
+                         name or f"{size_bytes >> 10}KB column-cache")
+        self._columns: dict[int, tuple[int, ...]] = {}
+        # way occupancy is tracked per set: way index -> block
+        self._ways: list[list[int | None]] = [
+            [None] * associativity for _ in range(self.num_sets)
+        ]
+        self._way_of: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        for asid, ways in (columns or {}).items():
+            self.assign_columns(asid, ways)
+
+    def assign_columns(self, asid: int, ways: tuple[int, ...]) -> None:
+        """Restrict an application's placement to the given ways."""
+        if not ways:
+            raise ConfigError("an application needs at least one column")
+        if any(not 0 <= w < self.associativity for w in ways):
+            raise ConfigError(
+                f"ways must be in [0, {self.associativity}), got {ways}"
+            )
+        self._columns[asid] = tuple(sorted(set(ways)))
+
+    def columns_of(self, asid: int) -> tuple[int, ...]:
+        return self._columns.get(asid, tuple(range(self.associativity)))
+
+    def access_block(self, block: int, asid: int = 0, write: bool = False) -> AccessResult:
+        set_index = block & self._set_mask
+        cache_set = self._sets[set_index]
+        line = cache_set.get(block)
+        if line is not None:
+            self.stats.record_access(asid, hit=True)
+            cache_set.move_to_end(block)
+            if write:
+                line.dirty = True
+            return AccessResult(hit=True)
+
+        self.stats.record_access(asid, hit=False)
+        ways = self._ways[set_index]
+        way_of = self._way_of[set_index]
+        permitted = self.columns_of(asid)
+
+        evicted_block: int | None = None
+        writeback = False
+        target_way = None
+        for way in permitted:  # an empty permitted column first
+            if ways[way] is None:
+                target_way = way
+                break
+        if target_way is None:
+            # Evict the least-recently-used line among the permitted ways.
+            for candidate in cache_set:  # OrderedDict: oldest first
+                way = way_of[candidate]
+                if way in permitted:
+                    target_way = way
+                    evicted_block = candidate
+                    break
+            if target_way is None:  # pragma: no cover - permitted non-empty
+                raise ConfigError("no evictable line in permitted columns")
+            victim = cache_set.pop(evicted_block)
+            writeback = victim.dirty
+            del way_of[evicted_block]
+            self.stats.record_eviction(victim.asid, writeback)
+
+        ways[target_way] = block
+        way_of[block] = target_way
+        cache_set[block] = CacheLine(block=block, asid=asid, dirty=write)
+        return AccessResult(hit=False, evicted_block=evicted_block, writeback=writeback)

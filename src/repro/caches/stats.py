@@ -1,0 +1,146 @@
+"""Cache statistics with per-ASID breakdown and resettable windows.
+
+Two time horizons matter in this reproduction:
+
+* *cumulative* counters over a whole run — what the paper's tables report;
+* *window* counters since the last resize decision — what Algorithm 1 feeds
+  on (the molecular resize engine resets the window every period).
+
+:class:`CacheStats` maintains both simultaneously for the cache as a whole
+and per ASID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class AsidCounters:
+    """Raw event counters for one ASID (or for the whole cache)."""
+
+    accesses: int = 0
+    hits: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio; 0.0 when no accesses were recorded."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def copy(self) -> "AsidCounters":
+        return AsidCounters(self.accesses, self.hits, self.evictions, self.writebacks)
+
+    def add(self, other: "AsidCounters") -> None:
+        self.accesses += other.accesses
+        self.hits += other.hits
+        self.evictions += other.evictions
+        self.writebacks += other.writebacks
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Cumulative and windowed statistics, overall and per ASID."""
+
+    total: AsidCounters = field(default_factory=AsidCounters)
+    per_asid: dict[int, AsidCounters] = field(default_factory=dict)
+    window_total: AsidCounters = field(default_factory=AsidCounters)
+    window_per_asid: dict[int, AsidCounters] = field(default_factory=dict)
+
+    def _counters_for(self, table: dict[int, AsidCounters], asid: int) -> AsidCounters:
+        counters = table.get(asid)
+        if counters is None:
+            counters = AsidCounters()
+            table[asid] = counters
+        return counters
+
+    def record_access(self, asid: int, hit: bool) -> None:
+        for total, table in (
+            (self.total, self.per_asid),
+            (self.window_total, self.window_per_asid),
+        ):
+            total.accesses += 1
+            counters = self._counters_for(table, asid)
+            counters.accesses += 1
+            if hit:
+                total.hits += 1
+                counters.hits += 1
+
+    def record_eviction(self, asid: int, writeback: bool) -> None:
+        for total, table in (
+            (self.total, self.per_asid),
+            (self.window_total, self.window_per_asid),
+        ):
+            total.evictions += 1
+            counters = self._counters_for(table, asid)
+            counters.evictions += 1
+            if writeback:
+                total.writebacks += 1
+                counters.writebacks += 1
+
+    def reset_window(self) -> None:
+        """Zero the window counters (called at every resize decision)."""
+        self.window_total = AsidCounters()
+        self.window_per_asid = {}
+
+    def reset_window_for(self, asid: int) -> None:
+        """Zero only one application's window (per-application adaptive trigger)."""
+        removed = self.window_per_asid.pop(asid, None)
+        if removed is not None:
+            self.window_total.accesses -= removed.accesses
+            self.window_total.hits -= removed.hits
+            self.window_total.evictions -= removed.evictions
+            self.window_total.writebacks -= removed.writebacks
+
+    def reset(self) -> None:
+        """Zero everything (e.g. after a warm-up phase)."""
+        self.total = AsidCounters()
+        self.per_asid = {}
+        self.reset_window()
+
+    def miss_rate(self, asid: int | None = None) -> float:
+        """Cumulative miss rate, overall or for one ASID."""
+        if asid is None:
+            return self.total.miss_rate
+        counters = self.per_asid.get(asid)
+        return counters.miss_rate if counters is not None else 0.0
+
+    def window_miss_rate(self, asid: int | None = None) -> float:
+        """Miss rate since the last window reset."""
+        if asid is None:
+            return self.window_total.miss_rate
+        counters = self.window_per_asid.get(asid)
+        return counters.miss_rate if counters is not None else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (handy for reports and JSON dumps)."""
+        return {
+            "accesses": self.total.accesses,
+            "hits": self.total.hits,
+            "misses": self.total.misses,
+            "miss_rate": self.total.miss_rate,
+            "evictions": self.total.evictions,
+            "writebacks": self.total.writebacks,
+            "per_asid": {
+                asid: {
+                    "accesses": c.accesses,
+                    "hits": c.hits,
+                    "misses": c.misses,
+                    "miss_rate": c.miss_rate,
+                }
+                for asid, c in sorted(self.per_asid.items())
+            },
+        }

@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``models``
+    List the bundled workload models with their footprints.
+``profile MODEL``
+    Characterise a model's trace (footprint, locality, LRU miss curve).
+``experiment {table1,table2,table4,table5,figure5,figure6}``
+    Run one of the paper's experiments and print its table/series.
+``simulate``
+    Run a workload mix on a molecular or traditional cache.
+``power``
+    Evaluate a cache organization with the analytical power model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.errors import ConfigError, ReproError
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"512KB"`` / ``"4MB"`` / ``"8192"`` into bytes."""
+    raw = text.strip().upper()
+    multiplier = 1
+    for suffix, factor in (("KB", 1 << 10), ("MB", 1 << 20), ("GB", 1 << 30),
+                           ("K", 1 << 10), ("M", 1 << 20), ("B", 1)):
+        if raw.endswith(suffix):
+            raw = raw[: -len(suffix)]
+            multiplier = factor
+            break
+    try:
+        return int(float(raw) * multiplier)
+    except ValueError:
+        raise ConfigError(f"cannot parse size {text!r}") from None
+
+
+# ---------------------------------------------------------------- commands
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    from repro.sim.report import format_table
+    from repro.workloads import available_models, get_model
+
+    rows = []
+    for name in available_models():
+        model = get_model(name)
+        cacheable = sum(
+            c.blocks for c in model.components if c.blocks < (1 << 20)
+        )
+        rows.append(
+            [
+                name,
+                len(model.components),
+                f"{cacheable * 64 // 1024} KB",
+                f"{model.expected_miss_rate(1 << 14):.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["model", "rings", "cacheable footprint", "est. miss @1MB"],
+            rows,
+            title="Bundled workload models",
+        )
+    )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.trace.analyze import profile_trace
+    from repro.workloads import get_model
+
+    model = get_model(args.model)
+    trace = model.generate(args.refs, seed=args.seed)
+    profile = profile_trace(trace)
+    print(f"profile of {args.model} ({args.refs} references):")
+    for key, value in profile.as_dict().items():
+        if key == "miss_curve":
+            print("  LRU miss curve:")
+            for capacity, rate in sorted(value.items()):
+                print(f"    {capacity * 64 // 1024:>6} KB: {rate:.3f}")
+        else:
+            print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.sim import experiments
+
+    name = args.name
+    if name == "table1":
+        result = experiments.run_table1(refs_per_app=args.refs or 500_000)
+    elif name == "table2":
+        result = experiments.run_table2(refs_per_app=args.refs or 300_000)
+    elif name == "table4":
+        result = experiments.run_table4(refs_per_app=args.refs or 150_000)
+    elif name == "table5":
+        result = experiments.run_table5(refs_per_app=args.refs or 300_000)
+    elif name == "figure5":
+        result = experiments.run_figure5(
+            graph=args.graph, refs_per_app=args.refs or 400_000
+        )
+    elif name == "figure6":
+        result = experiments.run_figure6(refs_per_app=args.refs or 300_000)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ConfigError(f"unknown experiment {name!r}")
+    print(result.format())
+    if name == "figure5" and args.chart:
+        from repro.sim.plot import ascii_chart
+
+        print()
+        print(
+            ascii_chart(
+                [f"{mb}MB" for mb in result.sizes_mb],
+                result.series,
+                title=f"Figure 5 graph {result.graph} (deviation, lower is better)",
+            )
+        )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis.metrics import average_deviation
+    from repro.caches import SetAssociativeCache
+    from repro.molecular import MolecularCache, MolecularCacheConfig, ResizePolicy
+    from repro.sim import CMPRunConfig, CMPRunner
+    from repro.workloads import get_model
+
+    names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    if not names:
+        raise ConfigError("no workloads given")
+    size = parse_size(args.size)
+    traces = {
+        asid: get_model(name).generate(args.refs, seed=args.seed, asid=asid)
+        for asid, name in enumerate(names)
+    }
+    goals = {asid: args.goal for asid in range(len(names))}
+
+    if args.cache == "molecular":
+        config = MolecularCacheConfig.for_total_size(
+            size, clusters=1, tiles_per_cluster=args.tiles, strict=False
+        )
+        cache = MolecularCache(
+            config, resize_policy=ResizePolicy(), placement=args.placement
+        )
+        for asid in range(len(names)):
+            cache.assign_application(
+                asid, goal=args.goal, tile_id=asid % args.tiles
+            )
+    else:
+        cache = SetAssociativeCache(size, args.assoc)
+
+    runner = CMPRunner(
+        cache, CMPRunConfig(args.miss_penalty, warmup_refs=args.refs // 4)
+    )
+    result = runner.run(traces)
+    print(f"{args.cache} cache, {args.size}, {len(names)} applications:")
+    for asid, name in enumerate(names):
+        print(f"  {name:10s} miss rate {result.miss_rate(asid):.3f}")
+    if args.goal is not None:
+        print(
+            f"  average deviation from {args.goal:.0%} goal: "
+            f"{average_deviation(result.miss_rates(), goals):.3f}"
+        )
+    if args.cache == "molecular":
+        print(f"  partition sizes (molecules): {cache.partition_sizes()}")
+        print(f"  mean molecules probed/access: "
+              f"{cache.stats.mean_molecules_probed():.1f}")
+        print(f"  mean access latency (cycles): "
+              f"{cache.stats.mean_latency_cycles():.1f}")
+    return 0
+
+
+def cmd_power(args: argparse.Namespace) -> int:
+    from repro.power import CacheOrganization, CactiModel
+
+    model = CactiModel()
+    org = CacheOrganization(
+        parse_size(args.size), args.assoc, args.line, args.ports
+    )
+    evaluation = model.evaluate(org)
+    print(f"{args.size} {args.assoc}-way, {args.line}B lines, {args.ports} port(s):")
+    print(f"  access time : {evaluation.access_time_ns:.2f} ns")
+    print(f"  frequency   : {evaluation.frequency_mhz:.0f} MHz")
+    print(f"  energy      : {evaluation.energy_nj:.2f} nJ/access")
+    print(f"  power       : {evaluation.power_watts():.2f} W at own frequency")
+    return 0
+
+
+# ------------------------------------------------------------------ parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Molecular Caches (MICRO 2006) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list bundled workload models")
+
+    profile = sub.add_parser("profile", help="characterise a workload model")
+    profile.add_argument("model")
+    profile.add_argument("--refs", type=int, default=100_000)
+    profile.add_argument("--seed", type=int, default=1)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument(
+        "name",
+        choices=["table1", "table2", "table4", "table5", "figure5", "figure6"],
+    )
+    experiment.add_argument("--refs", type=int, default=None,
+                            help="references per application")
+    experiment.add_argument("--graph", choices=["A", "B"], default="A",
+                            help="figure5 graph")
+    experiment.add_argument("--chart", action="store_true",
+                            help="render figure5 as an ASCII chart")
+
+    simulate = sub.add_parser("simulate", help="run a workload mix on a cache")
+    simulate.add_argument("--cache", choices=["molecular", "setassoc"],
+                          default="molecular")
+    simulate.add_argument("--size", default="4MB")
+    simulate.add_argument("--assoc", type=int, default=4)
+    simulate.add_argument("--tiles", type=int, default=4)
+    simulate.add_argument("--placement", default="randy",
+                          choices=["randy", "random", "lru_direct"])
+    simulate.add_argument("--workloads", default="art,ammp,parser,mcf")
+    simulate.add_argument("--goal", type=float, default=0.10)
+    simulate.add_argument("--refs", type=int, default=200_000)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument("--miss-penalty", type=float, default=10.0)
+
+    power = sub.add_parser("power", help="evaluate a cache organization")
+    power.add_argument("--size", default="8MB")
+    power.add_argument("--assoc", type=int, default=4)
+    power.add_argument("--line", type=int, default=64)
+    power.add_argument("--ports", type=int, default=4)
+
+    return parser
+
+
+_COMMANDS = {
+    "models": cmd_models,
+    "profile": cmd_profile,
+    "experiment": cmd_experiment,
+    "simulate": cmd_simulate,
+    "power": cmd_power,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Shared low-level substrate: bit utilities, deterministic RNGs, core types.
+
+Everything in this package is dependency-free (standard library only) and is
+used by every other subpackage.
+"""
+
+from repro.common.bitops import (
+    align_down,
+    align_up,
+    bit_slice,
+    block_address,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro.common.errors import (
+    AllocationError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    UnknownASIDError,
+)
+from repro.common.rng import LFSR16, DeterministicRNG, XorShift64
+from repro.common.types import Access, AccessResult, AccessType
+
+__all__ = [
+    "Access",
+    "AccessResult",
+    "AccessType",
+    "AllocationError",
+    "ConfigError",
+    "DeterministicRNG",
+    "LFSR16",
+    "ReproError",
+    "SimulationError",
+    "UnknownASIDError",
+    "XorShift64",
+    "align_down",
+    "align_up",
+    "bit_slice",
+    "block_address",
+    "ilog2",
+    "is_power_of_two",
+    "next_power_of_two",
+]

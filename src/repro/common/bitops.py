@@ -1,0 +1,71 @@
+"""Bit-manipulation helpers used throughout the cache simulators.
+
+All cache geometry in this library is power-of-two, so index/tag extraction
+reduces to shifts and masks. These helpers centralise the arithmetic and the
+validation so the simulators themselves stay readable.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Integer log base 2 of a power-of-two ``value``.
+
+    Raises
+    ------
+    ConfigError
+        If ``value`` is not a positive power of two. Cache geometry code
+        calls this during construction, so a bad size fails fast with a
+        configuration error rather than producing a silently wrong index.
+    """
+    if not is_power_of_two(value):
+        raise ConfigError(f"{value!r} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (``value`` must be positive)."""
+    if value <= 0:
+        raise ConfigError(f"next_power_of_two requires a positive value, got {value!r}")
+    return 1 << (value - 1).bit_length()
+
+
+def align_down(address: int, alignment: int) -> int:
+    """Round ``address`` down to a multiple of power-of-two ``alignment``."""
+    if not is_power_of_two(alignment):
+        raise ConfigError(f"alignment {alignment!r} is not a power of two")
+    return address & ~(alignment - 1)
+
+
+def align_up(address: int, alignment: int) -> int:
+    """Round ``address`` up to a multiple of power-of-two ``alignment``."""
+    if not is_power_of_two(alignment):
+        raise ConfigError(f"alignment {alignment!r} is not a power of two")
+    return (address + alignment - 1) & ~(alignment - 1)
+
+
+def bit_slice(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``.
+
+    ``bit_slice(0b110100, 2, 3) == 0b101``.
+    """
+    if low < 0 or width < 0:
+        raise ConfigError("bit_slice offsets must be non-negative")
+    return (value >> low) & ((1 << width) - 1)
+
+
+def block_address(address: int, block_size: int) -> int:
+    """Map a byte address to its cache-block number.
+
+    The block number (not the block-aligned byte address) is the canonical
+    identity used by every simulator in this library, because it makes
+    presence maps and tag arithmetic independent of the byte offset bits.
+    """
+    return address >> ilog2(block_size)

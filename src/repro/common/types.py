@@ -1,0 +1,77 @@
+"""Core value types shared by every simulator.
+
+An :class:`Access` is one memory reference as seen by a cache: a byte
+address, the ASID (Application Space IDentifier) of the issuing application,
+and whether it is a read or a write. Traces are sequences of accesses.
+
+An :class:`AccessResult` is what a cache reports back for one access. The
+molecular cache additionally reports how many molecules were probed locally
+and remotely, which is the raw material for the dynamic-energy accounting of
+Table 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AccessType(enum.Enum):
+    """Read/write discriminator for a memory reference."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """A single memory reference.
+
+    Parameters
+    ----------
+    address:
+        Byte address. Address spaces of distinct applications must not
+        overlap when fed to a *shared* traditional cache; the workload
+        generators guarantee this by offsetting each application's space.
+    asid:
+        Application Space Identifier of the issuing application.
+    kind:
+        Read or write. Defaults to read; the evaluated metrics (miss rate,
+        deviation, power) are insensitive to the mix, but writeback
+        statistics are maintained.
+    """
+
+    address: int
+    asid: int = 0
+    kind: AccessType = AccessType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessType.WRITE
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of one cache access.
+
+    ``molecules_probed_local``/``remote`` are zero for traditional caches;
+    the molecular cache fills them in so the power model can integrate
+    per-access probe energy (hierarchical lookup: local tile first, then the
+    Ulmo-directed remote tiles).
+    """
+
+    hit: bool
+    evicted_block: int | None = None
+    writeback: bool = False
+    molecules_probed_local: int = 0
+    molecules_probed_remote: int = 0
+    lines_filled: int = 1
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+    @property
+    def molecules_probed(self) -> int:
+        return self.molecules_probed_local + self.molecules_probed_remote

@@ -1,0 +1,162 @@
+"""Reuse-distance resize advisor — the paper's future-work sizing scheme.
+
+Algorithm 1 sizes partitions with a *linear* model ("Using a Linear
+relationship between Cache Size and Miss Rate. Simplifies Computation!")
+and notes that better techniques exist: "Other effective schemes such as
+LRU stack, counters with cold miss compensation etc. can be used. The
+actual evaluation of the resize algorithms based on these techniques is
+outside the scope of this paper."
+
+This module implements that scheme. Each managed region keeps a *sampled*
+reuse-distance profile (spatial sampling a la SHARDS: only blocks whose
+hash falls under ``1/sampling_ratio`` are tracked, and measured distances
+are scaled back up). From the profile's miss curve the advisor answers
+directly: *how many molecules does this region need to meet its goal?* —
+with cold (first-touch) misses excluded from the estimate, since no
+capacity can remove them (the "cold miss compensation").
+
+The resize engine consults the advisor in place of the linear model when
+``ResizePolicy`` selects ``advisor="stack"``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.reuse import COLD, StackDistanceAnalyzer
+from repro.common.errors import ConfigError
+from repro.molecular.region import CacheRegion
+
+#: Knuth multiplicative hash constant (golden-ratio), for block sampling.
+_HASH = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+class StackDistanceAdvisor:
+    """Per-region sampled reuse-distance profiles and sizing answers."""
+
+    def __init__(
+        self,
+        lines_per_molecule: int,
+        sampling_ratio: int = 16,
+        min_samples: int = 256,
+    ) -> None:
+        if lines_per_molecule < 1:
+            raise ConfigError("lines_per_molecule must be positive")
+        if sampling_ratio < 1:
+            raise ConfigError("sampling_ratio must be >= 1")
+        if min_samples < 1:
+            raise ConfigError("min_samples must be positive")
+        self.lines_per_molecule = lines_per_molecule
+        self.sampling_ratio = sampling_ratio
+        self.min_samples = min_samples
+        self._analyzers: dict[int, StackDistanceAnalyzer] = {}
+        self._headroom: dict[int, float] = {}
+
+    # ------------------------------------------------------------ sampling
+
+    def _sampled(self, block: int) -> bool:
+        hashed = (block * _HASH) & _MASK64
+        return hashed % self.sampling_ratio == 0
+
+    def observe(self, region: CacheRegion, block: int) -> None:
+        """Feed one access (called from the cache's access path)."""
+        if region.goal is None or not self._sampled(block):
+            return
+        analyzer = self._analyzers.get(region.asid)
+        if analyzer is None:
+            analyzer = StackDistanceAnalyzer(capacity_hint=1 << 12)
+            self._analyzers[region.asid] = analyzer
+        analyzer.record(block)
+
+    def samples_for(self, asid: int) -> int:
+        analyzer = self._analyzers.get(asid)
+        return analyzer.references if analyzer is not None else 0
+
+    # ------------------------------------------------------------- sizing
+
+    def target_molecules(self, region: CacheRegion) -> int | None:
+        """Molecules needed for the region to meet its goal, or None.
+
+        ``None`` means "no answer": not enough samples yet, or the goal is
+        unreachable at any capacity (the capacity-insensitive miss floor —
+        cold misses excluded — already exceeds it).
+        """
+        goal = region.goal
+        if goal is None:
+            return None
+        analyzer = self._analyzers.get(region.asid)
+        if analyzer is None or analyzer.references < self.min_samples:
+            return None
+
+        histogram = analyzer.histogram
+        total = analyzer.references
+        warm = total - histogram.get(COLD, 0)
+        if warm <= 0:
+            return None
+        # Miss rate at capacity C (cold-compensated): fraction of *warm*
+        # references with scaled distance >= C.
+        distances = sorted(d for d in histogram if d != COLD)
+        # Accumulate from the far end: misses(C) = refs with distance >= C.
+        suffix: list[tuple[int, int]] = []  # (scaled distance, refs at >= d)
+        running = 0
+        for distance in reversed(distances):
+            running += histogram[distance]
+            suffix.append((distance * self.sampling_ratio, running))
+        suffix.reverse()
+
+        # Find the smallest capacity whose warm miss rate meets the goal.
+        # Candidate capacities are the scaled distances themselves (miss
+        # rate is a step function between them).
+        for scaled_distance, refs_at_or_beyond in suffix:
+            miss_rate = refs_at_or_beyond / warm
+            if miss_rate <= goal:
+                blocks_needed = scaled_distance
+                return max(
+                    1, math.ceil(blocks_needed / self.lines_per_molecule)
+                )
+        # Even caching every sampled distance's worth leaves us above goal
+        # only if goal < smallest achievable; capacity beyond the largest
+        # distance yields miss rate 0 (cold-compensated), which always
+        # meets any non-negative goal:
+        largest = distances[-1] * self.sampling_ratio if distances else 0
+        return max(1, math.ceil((largest + 1) / self.lines_per_molecule))
+
+    # ------------------------------------------------------------ headroom
+
+    # The stack-distance target is an *ideal fully-associative LRU*
+    # capacity. A molecular region needs headroom above it: Randy's
+    # random-within-row eviction and row aliasing waste some capacity.
+    # The headroom factor is learned per application from feedback: raised
+    # when the region misses its goal despite holding the target, lowered
+    # gently when it overshoots.
+
+    _HEADROOM_MIN = 1.0
+    _HEADROOM_MAX = 3.0
+
+    def headroom(self, asid: int) -> float:
+        return self._headroom.get(asid, 1.2)
+
+    def effective_target(self, region: CacheRegion) -> int | None:
+        """The sized target including the learned placement headroom."""
+        target = self.target_molecules(region)
+        if target is None:
+            return None
+        return max(1, math.ceil(target * self.headroom(region.asid)))
+
+    def note_underestimate(self, asid: int) -> None:
+        """The region held the target yet missed its goal — need more."""
+        self._headroom[asid] = min(
+            self.headroom(asid) * 1.2, self._HEADROOM_MAX
+        )
+
+    def note_overestimate(self, asid: int) -> None:
+        """The region is comfortably below goal — relax the headroom."""
+        self._headroom[asid] = max(
+            self.headroom(asid) * 0.95, self._HEADROOM_MIN
+        )
+
+    def reset(self, asid: int) -> None:
+        """Drop an application's profile (e.g. at a known phase change)."""
+        self._analyzers.pop(asid, None)
+        self._headroom.pop(asid, None)

@@ -1,0 +1,136 @@
+"""Tile clusters and the Ulmo tile controller.
+
+4-8 tiles form a tile cluster; each cluster has one controller, *Ulmo*
+("Unlimited Molecules"), which handles tile misses — searching the other
+tiles of the cluster that contribute molecules to the requesting region —
+plus molecule allocation across tiles and (in hardware) inter-cluster
+coherence traffic. A region never spans clusters: when a cluster is out of
+free molecules, growth simply stalls, which is the behaviour behind the
+paper's "threshold size" observation in Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.molecular.molecule import Molecule
+from repro.molecular.region import CacheRegion
+from repro.molecular.tile import Tile
+
+
+@dataclass(slots=True)
+class UlmoStats:
+    """Activity counters of one Ulmo controller."""
+
+    tile_misses: int = 0
+    remote_hits: int = 0
+    global_misses: int = 0
+    remote_molecules_probed: int = 0
+    allocations: int = 0
+    allocation_shortfalls: int = 0
+
+
+class Ulmo:
+    """The per-cluster controller (global miss handler + allocator)."""
+
+    def __init__(self, cluster: "TileCluster") -> None:
+        self.cluster = cluster
+        self.stats = UlmoStats()
+
+    # ----------------------------------------------------------- searching
+
+    def remote_probe_cost(self, region: CacheRegion, found_tile: int | None) -> int:
+        """Molecules probed outside the home tile during a tile miss.
+
+        Ulmo searches only the tiles that contribute molecules to the
+        region, in a deterministic order (home first, then ascending id),
+        stopping at the tile that holds the line (or after all of them on a
+        global miss, ``found_tile is None``).
+        """
+        probed = 0
+        for tile_id in region.contributing_tiles():
+            if tile_id == region.home_tile_id:
+                continue
+            probed += region.molecules_by_tile[tile_id]
+            if found_tile is not None and tile_id == found_tile:
+                break
+        return probed
+
+    # ---------------------------------------------------------- allocation
+
+    def allocate(
+        self, asid: int, count: int, home_tile_id: int
+    ) -> list[Molecule]:
+        """Grant up to ``count`` free molecules, preferring the home tile.
+
+        "The additional molecules required for increasing the size of the
+        partition can be either obtained from the tile in which the cache
+        region is being currently hosted or from other tiles in the
+        tile-cluster."
+        """
+        granted: list[Molecule] = []
+        ordered = sorted(
+            self.cluster.tiles, key=lambda t: (t.tile_id != home_tile_id, t.tile_id)
+        )
+        for tile in ordered:
+            if len(granted) >= count:
+                break
+            granted.extend(tile.take_free(count - len(granted), asid))
+        self.stats.allocations += len(granted)
+        if len(granted) < count:
+            self.stats.allocation_shortfalls += 1
+        return granted
+
+
+class TileCluster:
+    """A group of tiles managed by one Ulmo."""
+
+    def __init__(
+        self,
+        cluster_id: int,
+        tile_count: int,
+        molecules_per_tile: int,
+        lines_per_molecule: int,
+        first_tile_id: int = 0,
+        first_molecule_id: int = 0,
+    ) -> None:
+        if tile_count < 1:
+            raise ConfigError("a cluster needs at least one tile")
+        self.cluster_id = cluster_id
+        self.tiles: list[Tile] = []
+        molecule_id = first_molecule_id
+        for i in range(tile_count):
+            tile = Tile(
+                tile_id=first_tile_id + i,
+                cluster_id=cluster_id,
+                molecule_count=molecules_per_tile,
+                lines_per_molecule=lines_per_molecule,
+                first_molecule_id=molecule_id,
+            )
+            molecule_id += molecules_per_tile
+            self.tiles.append(tile)
+        self.ulmo = Ulmo(self)
+        self._tiles_by_id = {tile.tile_id: tile for tile in self.tiles}
+
+    def tile(self, tile_id: int) -> Tile:
+        try:
+            return self._tiles_by_id[tile_id]
+        except KeyError:
+            raise ConfigError(
+                f"tile {tile_id} is not in cluster {self.cluster_id}"
+            ) from None
+
+    @property
+    def free_count(self) -> int:
+        return sum(tile.free_count for tile in self.tiles)
+
+    @property
+    def molecule_count(self) -> int:
+        return sum(len(tile.molecules) for tile in self.tiles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"TileCluster(id={self.cluster_id}, tiles={len(self.tiles)}, "
+            f"free={self.free_count}/{self.molecule_count})"
+        )

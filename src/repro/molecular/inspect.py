@@ -1,0 +1,62 @@
+"""Human-readable views of molecular-cache internals.
+
+Debug/teaching aids: render a region's replacement view (the 2-D sparse
+matrix of Figure 4) with per-row miss counters and occupancy, and a tile
+map of a whole cache showing molecule ownership.
+"""
+
+from __future__ import annotations
+
+from repro.molecular.cache import MolecularCache
+from repro.molecular.region import CacheRegion
+
+
+def render_replacement_view(region: CacheRegion, max_rows: int | None = None) -> str:
+    """ASCII rendering of a region's replacement view.
+
+    One line per row: the molecules (id and occupancy percentage) plus the
+    row's miss counter — the exact inputs Randy's resize placement uses.
+    """
+    lines = [
+        f"region asid={region.asid} "
+        f"(goal={region.goal}, {region.molecule_count} molecules, "
+        f"{region.row_max} rows, line x{region.line_multiplier})"
+    ]
+    rows = region.rows if max_rows is None else region.rows[:max_rows]
+    for index, row in enumerate(rows):
+        cells = "  ".join(
+            f"m{molecule.molecule_id}"
+            f"[{100 * molecule.occupancy() // molecule.n_lines:3d}%]"
+            for molecule in row
+        )
+        lines.append(
+            f"  row {index:3d} (misses {region.row_misses[index]:5d}): {cells}"
+        )
+    if max_rows is not None and len(region.rows) > max_rows:
+        lines.append(f"  ... {len(region.rows) - max_rows} more rows")
+    return "\n".join(lines)
+
+
+def render_tile_map(cache: MolecularCache) -> str:
+    """Ownership map: one line per tile, one cell per molecule.
+
+    Cells show the owning ASID, ``S`` for shared-bit molecules and ``.``
+    for free ones — a quick view of how partitions occupy the physical
+    organisation (Figure 2).
+    """
+    lines = [f"molecular cache: {cache.config.total_bytes >> 20}MB, "
+             f"{len(cache.clusters)} cluster(s)"]
+    for cluster in cache.clusters:
+        lines.append(f"cluster {cluster.cluster_id} "
+                     f"(free {cluster.free_count}/{cluster.molecule_count}):")
+        for tile in cluster.tiles:
+            cells = []
+            for molecule in tile.molecules:
+                if molecule.shared:
+                    cells.append("S")
+                elif molecule.is_free:
+                    cells.append(".")
+                else:
+                    cells.append(str(molecule.asid))
+            lines.append(f"  tile {tile.tile_id:3d}: {''.join(cells)}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Access-latency accounting for molecular caches.
+
+The paper notes two timing consequences of the design: the ASID
+comparison "would increase the number of cycles consumed by an additional
+cycle" (section 3.1), and the hierarchical lookup serialises — the home
+tile is searched first, then Ulmo walks the other contributing tiles one
+by one (section 3.3). This module turns each access's outcome into a cycle
+count so runs can report mean hit/miss latency alongside miss rates.
+
+Cycle parameters are deliberately coarse (the reproduction's timing claims
+are relative, not absolute); defaults reflect a fast small direct-mapped
+array under a ~200 MHz L2 clock domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.types import AccessResult
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyParameters:
+    """Cycle costs of the access-path stages.
+
+    asid_compare_cycles:
+        The extra decode stage of Figure 3 (paper: one cycle).
+    molecule_access_cycles:
+        Parallel probe of a tile's ASID-matching molecules.
+    ulmo_dispatch_cycles:
+        Tile-miss handling overhead in the controller.
+    tile_hop_cycles:
+        Interconnect hop + probe of one remote tile (remote tiles are
+        searched sequentially).
+    memory_cycles:
+        Fetch on a global miss.
+    """
+
+    asid_compare_cycles: int = 1
+    molecule_access_cycles: int = 2
+    ulmo_dispatch_cycles: int = 2
+    tile_hop_cycles: int = 4
+    memory_cycles: int = 200
+
+    def __post_init__(self) -> None:
+        for name in (
+            "asid_compare_cycles",
+            "molecule_access_cycles",
+            "ulmo_dispatch_cycles",
+            "tile_hop_cycles",
+            "memory_cycles",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} cannot be negative")
+
+
+class LatencyModel:
+    """Maps one access outcome to a cycle count."""
+
+    def __init__(self, params: LatencyParameters | None = None) -> None:
+        self.params = params or LatencyParameters()
+
+    def cycles(self, result: AccessResult) -> int:
+        """Latency of one access, from its recorded outcome.
+
+        ``result.extra['remote_tiles_searched']`` (recorded by the cache)
+        drives the serial remote-search term.
+        """
+        p = self.params
+        cycles = p.asid_compare_cycles + p.molecule_access_cycles
+        remote_tiles = result.extra.get("remote_tiles_searched", 0)
+        if remote_tiles:
+            cycles += p.ulmo_dispatch_cycles
+            cycles += remote_tiles * (
+                p.tile_hop_cycles + p.molecule_access_cycles
+            )
+        if result.miss:
+            cycles += p.memory_cycles
+        return cycles
+
+    def local_hit_cycles(self) -> int:
+        """Latency of the common case (hit in the home tile)."""
+        return self.params.asid_compare_cycles + self.params.molecule_access_cycles

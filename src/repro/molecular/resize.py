@@ -1,0 +1,254 @@
+"""Dynamic partition resizing: Algorithm 1 and its trigger schemes.
+
+The paper's section 3.4 in executable form. Per application partition,
+each resize decision does::
+
+    if miss rate > 50%:                 # panic branch
+        max_allocation = min(max_allocation, last_allocation)
+        grow by max_allocation
+    elif miss rate < goal:
+        withdraw sqrt(current * miss_rate / goal) molecules   # conservative
+    elif miss rate < last miss rate:    # linear model, only while improving
+        target = current * miss_rate / goal
+        grow by min(target - current, max_allocation)
+
+and afterwards the resize period adapts: doubled when the overall miss
+rate meets the goal, cut to 10 % when it does not (clamped to
+``[period_floor, period_cap]``).
+
+Interpretation choices (documented in DESIGN.md section 4): ``resize(n)``
+grows *toward a target* with the step capped by ``max_allocation``;
+``withdraw(n)`` removes ``n`` molecules; ``last_allocation`` is the size
+of the previous grant, and the panic branch's clamp only applies once a
+grant has happened. *Where* molecules are added or withdrawn is delegated
+to the placement policy (per-molecule counters for Random, per-row
+counters for Randy — exactly the paper's pairing).
+
+The paper schedules this computation on a processor via an OS daemon
+(~1500 cycles per application); we run it synchronously and account the
+cycles in :class:`~repro.molecular.stats.MolecularStats`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import SimulationError
+from repro.molecular.config import ResizePolicy
+from repro.molecular.region import CacheRegion
+
+#: Cycles one resize() computation costs per application (paper estimate).
+RESIZE_COMPUTE_CYCLES = 1_500
+
+
+class Resizer:
+    """Drives Algorithm 1 for every managed region of a molecular cache."""
+
+    def __init__(self, cache, policy: ResizePolicy) -> None:
+        self.cache = cache
+        self.policy = policy
+        self.global_period = policy.period
+        self.next_global_at = policy.period
+        #: Chronicle of (access_count, asid, action, amount) tuples for
+        #: diagnostics and the resize-behaviour tests.
+        self.log: list[tuple[int, int, str, int]] = []
+        self.advisor = None
+        if policy.advisor == "stack":
+            from repro.molecular.advisor import StackDistanceAdvisor
+
+            self.advisor = StackDistanceAdvisor(
+                cache.config.lines_per_molecule
+            )
+
+    # ------------------------------------------------------------ triggers
+
+    def register_region(self, region: CacheRegion) -> None:
+        """Initialise Algorithm 1 state for a newly assigned region."""
+        region.max_allocation = self.policy.max_allocation
+        region.last_allocation = region.molecule_count
+        region.last_miss_rate = 1.0
+        region.resize_period = self.policy.period
+        region.next_resize_at = region.total_accesses + self.policy.period
+
+    def on_access(
+        self, total_accesses: int, region: CacheRegion, block: int | None = None
+    ) -> None:
+        """Called by the cache after every access; fires due resizes."""
+        if self.advisor is not None and block is not None:
+            self.advisor.observe(region, block)
+        if self.policy.trigger == "per_app_adaptive":
+            if region.goal is not None and region.total_accesses >= region.next_resize_at:
+                self._resize_one(region, total_accesses)
+        else:
+            if total_accesses >= self.next_global_at:
+                self._resize_all(total_accesses)
+
+    # ------------------------------------------------------- global round
+
+    def _managed_regions(self) -> list[CacheRegion]:
+        return [r for r in self.cache.regions.values() if r.goal is not None]
+
+    def _resize_all(self, total_accesses: int) -> None:
+        regions = self._managed_regions()
+        for region in regions:
+            self._decide(region, total_accesses)
+
+        if self.policy.trigger == "global_adaptive":
+            overall = self.cache.stats.window_miss_rate()
+            goal = self._aggregate_goal(regions)
+            if overall < goal:
+                self.global_period = min(self.global_period * 2, self.policy.period_cap)
+            else:
+                self.global_period = max(
+                    int(self.global_period * 0.1), self.policy.period_floor
+                )
+
+        for region in regions:
+            region.reset_window()
+            self.cache.placement.reset_counters(region)
+        self.cache.stats.reset_window()
+        self.next_global_at = total_accesses + self.global_period
+        self.cache.stats.resize_events += 1
+        self.cache.stats.resize_compute_cycles += RESIZE_COMPUTE_CYCLES * len(regions)
+
+    def _aggregate_goal(self, regions: list[CacheRegion]) -> float:
+        """Access-weighted mean goal — the "overall miss rate goal"."""
+        weighted = 0.0
+        accesses = 0
+        for region in regions:
+            weighted += (region.goal or 0.0) * region.window_accesses
+            accesses += region.window_accesses
+        if accesses == 0:
+            return 0.0
+        return weighted / accesses
+
+    # ------------------------------------------------- per-app round
+
+    def _resize_one(self, region: CacheRegion, total_accesses: int) -> None:
+        self._decide(region, total_accesses)
+        if region.goal is not None:
+            if region.window_miss_rate < region.goal:
+                region.resize_period = min(
+                    region.resize_period * 2, self.policy.period_cap
+                )
+            else:
+                region.resize_period = max(
+                    int(region.resize_period * 0.1), self.policy.period_floor
+                )
+        region.reset_window()
+        self.cache.placement.reset_counters(region)
+        region.next_resize_at = region.total_accesses + region.resize_period
+        self.cache.stats.resize_events += 1
+        self.cache.stats.resize_compute_cycles += RESIZE_COMPUTE_CYCLES
+
+    # ---------------------------------------------------------- Algorithm 1
+
+    def _decide(self, region: CacheRegion, total_accesses: int) -> None:
+        if region.goal is None:
+            return
+        if region.window_accesses < self.policy.min_window_refs:
+            return
+        miss_rate = region.window_miss_rate
+        current = region.molecule_count
+        goal = region.goal
+
+        if self.advisor is not None and miss_rate <= self.policy.panic_miss_rate:
+            target = self.advisor.effective_target(region)
+            if target is not None:
+                if miss_rate > goal:
+                    if current < target:
+                        amount = min(target - current, region.max_allocation)
+                        self._grow(region, amount, total_accesses)
+                    else:
+                        # Holding the sized capacity yet missing the goal:
+                        # the ideal-LRU model underestimates this region's
+                        # placement overhead — learn, and keep growing.
+                        self.advisor.note_underestimate(region.asid)
+                        self._grow(
+                            region, region.max_allocation, total_accesses
+                        )
+                elif miss_rate < goal * self.policy.withdraw_margin:
+                    if current > target:
+                        amount = min(
+                            current - target,
+                            region.max_allocation,
+                            current - self.policy.min_molecules,
+                        )
+                        if amount > 0:
+                            self._withdraw(region, amount, total_accesses)
+                    else:
+                        self.advisor.note_overestimate(region.asid)
+                region.last_miss_rate = miss_rate
+                return
+            # not enough samples yet: fall through to the linear model
+
+        if miss_rate > self.policy.panic_miss_rate:
+            if 0 < region.last_allocation < region.max_allocation:
+                region.max_allocation = region.last_allocation
+            self._grow(region, region.max_allocation, total_accesses)
+        elif miss_rate < goal:
+            if goal > 0 and miss_rate < goal * self.policy.withdraw_margin:
+                amount = int(round(math.sqrt(current * miss_rate / goal)))
+            else:
+                amount = 0
+            amount = min(amount, current - self.policy.min_molecules)
+            if amount > 0:
+                self._withdraw(region, amount, total_accesses)
+        elif miss_rate < region.last_miss_rate or self.policy.grow_when_worsening:
+            target = math.ceil(current * miss_rate / goal) if goal > 0 else current
+            amount = min(target - current, region.max_allocation)
+            if amount > 0:
+                self._grow(region, amount, total_accesses)
+        region.last_miss_rate = miss_rate
+
+    # ------------------------------------------------------------- actions
+
+    def _grow(self, region: CacheRegion, amount: int, total_accesses: int) -> None:
+        if amount <= 0:
+            return
+        cluster = self.cache.cluster_of_tile(region.home_tile_id)
+        granted = cluster.ulmo.allocate(region.asid, amount, region.home_tile_id)
+        for molecule in granted:
+            row = self.cache.placement.add_row_index(region)
+            region.add_molecule(molecule, row)
+        if granted:
+            region.last_allocation = len(granted)
+            self.cache.stats.molecules_granted += len(granted)
+            self.log.append((total_accesses, region.asid, "grow", len(granted)))
+        else:
+            self.log.append((total_accesses, region.asid, "grow-denied", amount))
+
+    def _withdraw(self, region: CacheRegion, amount: int, total_accesses: int) -> None:
+        withdrawn = 0
+        for _ in range(amount):
+            if region.molecule_count <= self.policy.min_molecules:
+                break
+            molecule = self.cache.placement.choose_withdrawal(region)
+            flushed = region.detach_molecule(molecule)
+            tile = self.cache.tile_of(molecule.tile_id)
+            tile.release(molecule)
+            dirty = sum(1 for _block, was_dirty in flushed if was_dirty)
+            self.cache.stats.writebacks_to_memory += dirty
+            withdrawn += 1
+        if withdrawn:
+            self.cache.stats.molecules_withdrawn += withdrawn
+            self.log.append((total_accesses, region.asid, "withdraw", withdrawn))
+
+    def force_resize(self) -> None:
+        """Run a resize round immediately (test/diagnostic hook)."""
+        if self.policy.trigger == "per_app_adaptive":
+            for region in self._managed_regions():
+                self._resize_one(region, self.cache.stats.total.accesses)
+        else:
+            self._resize_all(self.cache.stats.total.accesses)
+
+    def check_consistency(self) -> None:
+        """Raise if any region's bookkeeping is inconsistent (test hook)."""
+        for region in self.cache.regions.values():
+            count = region.molecule_count
+            by_tile = sum(region.molecules_by_tile.values())
+            if count != by_tile:
+                raise SimulationError(
+                    f"region asid={region.asid}: {count} molecules in view, "
+                    f"{by_tile} in tile index"
+                )

@@ -1,0 +1,79 @@
+"""Statistics specific to molecular caches.
+
+Extends the common :class:`~repro.caches.stats.CacheStats` with the probe
+accounting the power model integrates (Table 4's "average mixed workload"
+column is computed from exactly these counters) and resize-engine activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.caches.stats import CacheStats
+
+
+@dataclass(slots=True)
+class MolecularStats(CacheStats):
+    """Event counters for a molecular cache run.
+
+    Attributes
+    ----------
+    molecules_probed_local / molecules_probed_remote:
+        Total ASID-matching molecules probed in home tiles / via Ulmo.
+        Dynamic data-array energy is proportional to these.
+    asid_comparisons:
+        Total ASID-comparator activations (every molecule of a searched
+        tile performs the comparison — Figure 3's gate — even when it does
+        not proceed to the data array).
+    lines_fetched:
+        Base lines brought in from memory (> misses when a region uses a
+        larger line size).
+    resize_events / molecules_granted / molecules_withdrawn:
+        Resize-engine activity.
+    resize_compute_cycles:
+        Accounted cost of the resize computation (~1500 cycles per
+        application per resize, per the paper).
+    """
+
+    molecules_probed_local: int = 0
+    molecules_probed_remote: int = 0
+    asid_comparisons: int = 0
+    lines_fetched: int = 0
+    writebacks_to_memory: int = 0
+    resize_events: int = 0
+    molecules_granted: int = 0
+    molecules_withdrawn: int = 0
+    resize_compute_cycles: int = 0
+    latency_cycles: int = 0
+
+    @property
+    def molecules_probed(self) -> int:
+        return self.molecules_probed_local + self.molecules_probed_remote
+
+    def mean_molecules_probed(self) -> float:
+        """Average molecules probed per access — the power model's input."""
+        if self.total.accesses == 0:
+            return 0.0
+        return self.molecules_probed / self.total.accesses
+
+    def mean_latency_cycles(self) -> float:
+        """Average access latency (cycles) per the attached latency model."""
+        if self.total.accesses == 0:
+            return 0.0
+        return self.latency_cycles / self.total.accesses
+
+    def as_dict(self) -> dict:
+        base = super().as_dict()
+        base.update(
+            {
+                "molecules_probed_local": self.molecules_probed_local,
+                "molecules_probed_remote": self.molecules_probed_remote,
+                "mean_molecules_probed": self.mean_molecules_probed(),
+                "asid_comparisons": self.asid_comparisons,
+                "lines_fetched": self.lines_fetched,
+                "resize_events": self.resize_events,
+                "molecules_granted": self.molecules_granted,
+                "molecules_withdrawn": self.molecules_withdrawn,
+            }
+        )
+        return base

@@ -1,0 +1,22 @@
+"""CACTI-like timing/power model and energy accounting (replaces CACTI 3.2).
+
+The paper derives Table 4 from CACTI at 0.07 µm. This package implements an
+analytical component model (decoder + wordline + bitline + sense + tag
+compare + output, with sub-banking and port scaling) whose coefficients are
+*calibrated against the paper's own Table 4 rows* — see
+:mod:`repro.power.tables` for the fit provenance. Energy accounting for
+molecular caches integrates the probe counters recorded by the simulator.
+"""
+
+from repro.power.model import CacheOrganization, CactiModel, Evaluation
+from repro.power.energy import MolecularEnergyModel, power_watts
+from repro.power.metrics import power_deviation_product
+
+__all__ = [
+    "CacheOrganization",
+    "CactiModel",
+    "Evaluation",
+    "MolecularEnergyModel",
+    "power_deviation_product",
+    "power_watts",
+]

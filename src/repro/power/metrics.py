@@ -1,0 +1,21 @@
+"""QoS-power metrics.
+
+The paper introduces the *power-deviation product* — dynamic power (W)
+times average deviation from the miss-rate goal — "to measure the
+effectiveness of the cache in meeting the QoS while still being able to
+keep the cache power consumption in check" (Table 5). Lower is better on
+both axes, so lower products dominate.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+def power_deviation_product(power_w: float, average_deviation: float) -> float:
+    """The paper's power-deviation product metric."""
+    if power_w < 0:
+        raise ConfigError("power cannot be negative")
+    if average_deviation < 0:
+        raise ConfigError("average deviation cannot be negative")
+    return power_w * average_deviation

@@ -1,0 +1,161 @@
+"""Analytical cache access-time and per-access-energy model.
+
+A simplified CACTI: given a cache organization (size, associativity, line
+size, ports), the model searches sub-banking splits (``Ndbl`` vertical,
+``Ndwl`` horizontal) and reports the best organization's access time and
+dynamic energy per access. Component structure:
+
+* decoder delay/energy grow with the (sub-)array row count;
+* bitline energy grows with active cells x column height — the dominant
+  term, and the reason small caches (molecules) are an order of magnitude
+  cheaper per access than monolithic megabyte arrays;
+* wordline/sense terms grow with the active cells (``assoc x line bits``);
+* tag-path terms grow with associativity, superlinearly for energy and
+  with an ``A^1.6`` comparator/mux delay (this is what collapses the 8-way
+  frequency in Table 4);
+* every port beyond the first adds capacitance (energy) and wiring delay.
+
+Coefficients live in :mod:`repro.power.tables` (fit provenance there).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.bitops import is_power_of_two
+from repro.common.errors import ConfigError
+from repro.power.tables import TECH_70NM, TechnologyCoefficients
+
+_NDBL_CHOICES = (1, 2, 4, 8, 16, 32, 64, 128)
+_NDWL_CHOICES = (1, 2, 4, 8, 16)
+_MIN_ROWS = 16
+_MIN_COLS = 32
+
+
+@dataclass(frozen=True, slots=True)
+class CacheOrganization:
+    """A cache structure to be evaluated by the model."""
+
+    size_bytes: int
+    associativity: int = 1
+    line_bytes: int = 64
+    ports: int = 1
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.size_bytes):
+            raise ConfigError("size must be a power of two")
+        if not is_power_of_two(self.line_bytes):
+            raise ConfigError("line size must be a power of two")
+        if self.associativity < 1 or self.ports < 1:
+            raise ConfigError("associativity and ports must be >= 1")
+        if self.size_bytes < self.line_bytes * self.associativity:
+            raise ConfigError("cache smaller than one set")
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass(frozen=True, slots=True)
+class Evaluation:
+    """Model output for one organization."""
+
+    organization: CacheOrganization
+    access_time_ns: float
+    energy_nj: float
+    ndbl: int
+    ndwl: int
+
+    @property
+    def frequency_mhz(self) -> float:
+        return 1000.0 / self.access_time_ns
+
+    def power_watts(self, frequency_mhz: float | None = None) -> float:
+        """Dynamic power at the given operating frequency.
+
+        Defaults to the organization's own maximum frequency. The paper
+        compares structures *at the traditional cache's frequency*, so
+        Table 4 passes the baseline's frequency here.
+        """
+        freq = self.frequency_mhz if frequency_mhz is None else frequency_mhz
+        return self.energy_nj * 1e-9 * freq * 1e6
+
+
+class CactiModel:
+    """The analytical model with its sub-banking search."""
+
+    def __init__(self, tech: TechnologyCoefficients = TECH_70NM) -> None:
+        self.tech = tech
+
+    # ------------------------------------------------------------ internals
+
+    def _evaluate_org(
+        self, org: CacheOrganization, ndbl: int, ndwl: int
+    ) -> tuple[float, float] | None:
+        rows = org.sets / ndbl
+        cells = org.associativity * org.line_bytes * 8
+        cols = cells / ndwl
+        if rows < _MIN_ROWS or cols < _MIN_COLS:
+            return None
+        t = self.tech.t_base
+        t += self.tech.t_decode * math.log2(rows)
+        t += self.tech.t_bitline * rows / 1e3
+        t += self.tech.t_wordline * cols / 1e3
+        t += self.tech.t_compare * (org.associativity**1.6) / 1e1
+
+        e = self.tech.e_bitline * cells * rows / 1e5
+        e += self.tech.e_wordline * cells / 1e3
+        e += self.tech.e_decode * math.log2(rows) * ndbl * ndwl / 1e2
+        e += self.tech.e_htree * math.sqrt(ndbl * ndwl) * org.line_bytes * 8 / 1e3
+        e += self.tech.e_sense * cells / 1e3
+        e += self.tech.e_tag * org.associativity / 1e1
+        if org.associativity > 1:
+            e += self.tech.e_assoc * (org.associativity**2) / 1e1
+
+        extra_ports = org.ports - 1
+        e *= 1.0 + self.tech.port_energy_factor * extra_ports
+        t *= 1.0 + self.tech.port_delay_factor * extra_ports
+        return t, e
+
+    # ----------------------------------------------------------------- API
+
+    def evaluate(self, org: CacheOrganization) -> Evaluation:
+        """Best (minimum energy-delay) organization for the structure."""
+        best: Evaluation | None = None
+        for ndbl in _NDBL_CHOICES:
+            for ndwl in _NDWL_CHOICES:
+                result = self._evaluate_org(org, ndbl, ndwl)
+                if result is None:
+                    continue
+                t, e = result
+                candidate = Evaluation(org, t, e, ndbl, ndwl)
+                if best is None or t * e < best.access_time_ns * best.energy_nj:
+                    best = candidate
+        if best is None:
+            # Tiny structure: fall back to the smallest legal subarray view.
+            rows = max(org.sets, _MIN_ROWS)
+            cells = max(org.associativity * org.line_bytes * 8, _MIN_COLS)
+            t = self.tech.t_base + self.tech.t_decode * math.log2(rows)
+            t += self.tech.t_bitline * rows / 1e3
+            t += self.tech.t_wordline * cells / 1e3
+            t += self.tech.t_compare * (org.associativity**1.6) / 1e1
+            e = self.tech.e_bitline * cells * rows / 1e5
+            e += (self.tech.e_wordline + self.tech.e_sense) * cells / 1e3
+            e += self.tech.e_tag * org.associativity / 1e1
+            best = Evaluation(org, t, e, 1, 1)
+        return best
+
+    def molecule_energy_nj(
+        self, molecule_bytes: int = 8 * 1024, line_bytes: int = 64
+    ) -> float:
+        """Per-probe dynamic energy of one molecule (direct mapped, 1 port)."""
+        return self.evaluate(
+            CacheOrganization(molecule_bytes, 1, line_bytes, ports=1)
+        ).energy_nj
+
+    def access_time_ns(self, org: CacheOrganization) -> float:
+        return self.evaluate(org).access_time_ns
+
+    def energy_nj(self, org: CacheOrganization) -> float:
+        return self.evaluate(org).energy_nj

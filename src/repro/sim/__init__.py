@@ -1,0 +1,15 @@
+"""Simulation drivers and the experiment harnesses for every table/figure."""
+
+from repro.sim.cmp import CMPRunConfig, CMPRunner, CMPRunResult
+from repro.sim.driver import run_trace
+from repro.sim.platform import CMPPlatform, PlatformConfig, PlatformResult
+
+__all__ = [
+    "CMPPlatform",
+    "CMPRunConfig",
+    "CMPRunner",
+    "CMPRunResult",
+    "PlatformConfig",
+    "PlatformResult",
+    "run_trace",
+]

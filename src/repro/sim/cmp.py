@@ -1,0 +1,161 @@
+"""CMP execution model: cores issuing their traces against a shared cache.
+
+The paper gathers its traces on SESC, a cycle-level CMP simulator, where a
+core that misses in the shared L2 *stalls* while the line is fetched. That
+feedback matters: a capacity-starved application (mcf) issues references
+more slowly than a cache-friendly one, and therefore pollutes the shared
+cache far less than a rate-equal interleaving would suggest. Table 1's
+pattern (art survives a pair with mcf but collapses with three co-runners)
+only emerges with this throttling.
+
+:class:`CMPRunner` reproduces the effect with a simple timing model:
+
+* each core issues its next reference one time unit after the previous one
+  *hits*, or ``1 + miss_penalty`` units after a *miss*;
+* the shared cache services references in global time order;
+* the run ends when the first core exhausts its trace (all applications are
+  co-running for the entire measured window);
+* per-application miss rates are measured from a post-warm-up snapshot
+  (``warmup_refs`` total references) to exclude cold-start effects that the
+  paper's 3.9 M-reference traces amortise away.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.caches.stats import AsidCounters
+from repro.common.errors import ConfigError
+from repro.trace.container import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class CMPRunConfig:
+    """Timing parameters for a CMP run.
+
+    ``miss_penalty`` is the stall, in units of the inter-reference gap of a
+    hitting core, that a shared-cache miss inflicts on its core. 10 is a
+    reasonable ratio of memory latency to the mean time between post-L1
+    references of a well-cached application.
+    """
+
+    miss_penalty: float = 10.0
+    warmup_refs: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.miss_penalty < 0:
+            raise ConfigError("miss penalty cannot be negative")
+        if self.warmup_refs < 0:
+            raise ConfigError("warmup_refs cannot be negative")
+
+
+@dataclass(slots=True)
+class CMPRunResult:
+    """Measured (post-warm-up) statistics of one CMP run."""
+
+    per_asid: dict[int, AsidCounters] = field(default_factory=dict)
+    total_refs: int = 0
+    measured_refs: int = 0
+    end_time: float = 0.0
+
+    def miss_rate(self, asid: int) -> float:
+        counters = self.per_asid.get(asid)
+        if counters is None or counters.accesses == 0:
+            return 0.0
+        return counters.miss_rate
+
+    def overall_miss_rate(self) -> float:
+        accesses = sum(c.accesses for c in self.per_asid.values())
+        misses = sum(c.misses for c in self.per_asid.values())
+        return misses / accesses if accesses else 0.0
+
+    def miss_rates(self) -> dict[int, float]:
+        return {asid: c.miss_rate for asid, c in sorted(self.per_asid.items())}
+
+
+class CMPRunner:
+    """Run several applications concurrently against one shared cache.
+
+    The cache may be a :class:`~repro.caches.SetAssociativeCache`, a
+    :class:`~repro.molecular.MolecularCache`, or anything else exposing
+    ``access_block(block, asid, write) -> AccessResult`` and a ``stats``
+    attribute with ``per_asid`` counters.
+    """
+
+    def __init__(self, cache, config: CMPRunConfig | None = None) -> None:
+        self.cache = cache
+        self.config = config or CMPRunConfig()
+
+    def run(self, traces: dict[int, Trace], line_bytes: int = 64) -> CMPRunResult:
+        """Execute the traces concurrently; returns post-warm-up statistics.
+
+        ``traces`` maps each application's ASID to its (private) trace.
+        """
+        if not traces:
+            raise ConfigError("CMPRunner.run needs at least one trace")
+        streams = {}
+        for asid, trace in traces.items():
+            if len(trace) == 0:
+                raise ConfigError(f"trace for asid {asid} is empty")
+            streams[asid] = (
+                trace.blocks(line_bytes).tolist(),
+                trace.writes.tolist(),
+            )
+        penalty = self.config.miss_penalty
+        cache = self.cache
+        access_block = cache.access_block
+
+        # (time, tiebreak, asid, index) — the tiebreak keeps ordering
+        # deterministic and avoids comparing beyond the asid.
+        heap: list[tuple[float, int, int, int]] = [
+            (0.0, asid, asid, 0) for asid in sorted(streams)
+        ]
+        heapq.heapify(heap)
+
+        issued = 0
+        snapshot: dict[int, AsidCounters] | None = None
+        warmup = self.config.warmup_refs
+        end_time = 0.0
+        push = heapq.heappush
+        pop = heapq.heappop
+
+        while True:
+            time_now, tiebreak, asid, index = pop(heap)
+            blocks, writes = streams[asid]
+            result = access_block(blocks[index], asid, writes[index])
+            issued += 1
+            index += 1
+            if snapshot is None and warmup and issued >= warmup:
+                snapshot = {
+                    a: c.copy() for a, c in cache.stats.per_asid.items()
+                }
+            if index >= len(blocks):
+                end_time = time_now
+                break
+            gap = 1.0 if result.hit else 1.0 + penalty
+            push(heap, (time_now + gap, tiebreak, asid, index))
+
+        return self._collect(snapshot, issued, end_time)
+
+    def _collect(
+        self,
+        snapshot: dict[int, AsidCounters] | None,
+        issued: int,
+        end_time: float,
+    ) -> CMPRunResult:
+        result = CMPRunResult(total_refs=issued, end_time=end_time)
+        measured = 0
+        for asid, counters in self.cache.stats.per_asid.items():
+            base = (snapshot or {}).get(asid)
+            net = counters.copy()
+            if base is not None:
+                net.accesses -= base.accesses
+                net.hits -= base.hits
+                net.evictions -= base.evictions
+                net.writebacks -= base.writebacks
+            if net.accesses > 0:
+                result.per_asid[asid] = net
+                measured += net.accesses
+        result.measured_refs = measured
+        return result

@@ -1,0 +1,34 @@
+"""Single-stream trace driver (no CMP timing model).
+
+For experiments on one application — or pre-interleaved traces — where
+issue-rate feedback is not wanted, :func:`run_trace` simply streams a trace
+through a cache in order.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.trace.container import Trace
+
+
+def run_trace(cache, trace: Trace, line_bytes: int = 64, warmup_refs: int = 0):
+    """Stream ``trace`` through ``cache``; returns the cache's stats object.
+
+    ``warmup_refs`` leading references are simulated but excluded from the
+    returned statistics (the cache's counters are reset at that point).
+    """
+    if warmup_refs < 0:
+        raise ConfigError("warmup_refs cannot be negative")
+    if warmup_refs >= len(trace) and len(trace) > 0 and warmup_refs > 0:
+        raise ConfigError(
+            f"warmup ({warmup_refs}) must be shorter than the trace ({len(trace)})"
+        )
+    blocks = trace.blocks(line_bytes).tolist()
+    asids = trace.asids.tolist()
+    writes = trace.writes.tolist()
+    access_block = cache.access_block
+    for index, (block, asid, write) in enumerate(zip(blocks, asids, writes)):
+        if index == warmup_refs and warmup_refs:
+            cache.stats.reset()
+        access_block(block, asid, write)
+    return cache.stats

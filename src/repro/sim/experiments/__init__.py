@@ -1,0 +1,37 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Each ``run_*`` function is self-contained: it builds the workloads, runs
+the simulations, and returns a structured result object with a
+``format()`` method printing the same rows/series the paper reports.
+Reference counts scale with the ``REPRO_SCALE`` environment variable.
+"""
+
+from repro.sim.experiments.common import (
+    build_traces,
+    run_molecular_workload,
+    run_traditional_workload,
+)
+from repro.sim.experiments.table1 import Table1Result, run_table1
+from repro.sim.experiments.figure5 import Figure5Result, run_figure5
+from repro.sim.experiments.table2 import Table2Result, run_table2
+from repro.sim.experiments.figure6 import Figure6Result, run_figure6
+from repro.sim.experiments.table4 import Table4Result, run_table4
+from repro.sim.experiments.table5 import Table5Result, run_table5
+
+__all__ = [
+    "Figure5Result",
+    "Figure6Result",
+    "Table1Result",
+    "Table2Result",
+    "Table4Result",
+    "Table5Result",
+    "build_traces",
+    "run_figure5",
+    "run_figure6",
+    "run_molecular_workload",
+    "run_table1",
+    "run_table2",
+    "run_table4",
+    "run_table5",
+    "run_traditional_workload",
+]

@@ -1,0 +1,128 @@
+"""Figure 5 — average deviation from the miss-rate goal vs cache size.
+
+Graph A: a 10 % goal for all four SPEC benchmarks; Graph B: a 10 % goal
+for art/ammp/parser only (mcf unmanaged). Six cache designs at 1/2/4/8 MB:
+direct-mapped, 2/4/8-way LRU (shared), and molecular caches (4 tiles, one
+cluster) with the Random and Randy placement policies.
+
+The paper's headline behaviour: traditional deviations fall smoothly with
+size and associativity; molecular deviations collapse at a *threshold*
+size (4 MB for graph A, 2 MB for graph B) once enough free molecules exist
+for every partition to reach its goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.metrics import DeviationMode, average_deviation
+from repro.common.errors import ConfigError
+from repro.molecular.config import MolecularCacheConfig
+from repro.sim.experiments.common import (
+    build_traces,
+    run_molecular_workload,
+    run_traditional_workload,
+)
+from repro.sim.report import format_series
+from repro.sim.scale import scaled
+
+#: Application order; each gets its own tile in the molecular runs.
+APPS = ("art", "ammp", "parser", "mcf")
+GOAL = 0.10
+SIZES_MB = (1, 2, 4, 8)
+
+TRADITIONAL_SERIES = (
+    ("Direct Mapped", 1),
+    ("2-way", 2),
+    ("4-way", 4),
+    ("8-way", 8),
+)
+MOLECULAR_SERIES = (
+    ("Molecular (Random)", "random"),
+    ("Molecular (Randy)", "randy"),
+)
+
+
+@dataclass(slots=True)
+class Figure5Result:
+    """Deviation series per cache design, indexed by cache size."""
+
+    graph: str
+    sizes_mb: tuple[int, ...]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    miss_rates: dict[tuple[str, int], dict[str, float]] = field(default_factory=dict)
+
+    def deviation(self, series_name: str, size_mb: int) -> float:
+        return self.series[series_name][self.sizes_mb.index(size_mb)]
+
+    def format(self) -> str:
+        return format_series(
+            "size",
+            [f"{mb}MB" for mb in self.sizes_mb],
+            self.series,
+            title=(
+                f"Figure 5 graph {self.graph} — average deviation from the "
+                f"{GOAL:.0%} miss-rate goal"
+            ),
+        )
+
+
+def goals_for_graph(graph: str) -> dict[int, float | None]:
+    """Graph A manages all four applications; graph B leaves mcf alone."""
+    graph = graph.upper()
+    if graph == "A":
+        return {asid: GOAL for asid in range(len(APPS))}
+    if graph == "B":
+        return {
+            asid: (None if APPS[asid] == "mcf" else GOAL)
+            for asid in range(len(APPS))
+        }
+    raise ConfigError(f"Figure 5 has graphs 'A' and 'B', not {graph!r}")
+
+
+def run_figure5(
+    graph: str = "A",
+    refs_per_app: int = 400_000,
+    seed: int = 1,
+    sizes_mb: tuple[int, ...] = SIZES_MB,
+    deviation_mode: DeviationMode = DeviationMode.ABSOLUTE,
+) -> Figure5Result:
+    """Reproduce one graph of Figure 5."""
+    refs = scaled(refs_per_app)
+    goals = goals_for_graph(graph)
+    result = Figure5Result(graph=graph.upper(), sizes_mb=tuple(sizes_mb))
+    traces = build_traces(list(APPS), refs, seed)
+
+    for label, assoc in TRADITIONAL_SERIES:
+        deviations: list[float] = []
+        for size_mb in sizes_mb:
+            run = run_traditional_workload(traces, size_mb << 20, assoc)
+            rates = run.miss_rates()
+            deviations.append(average_deviation(rates, goals, deviation_mode))
+            result.miss_rates[(label, size_mb)] = {
+                APPS[a]: r for a, r in rates.items()
+            }
+        result.series[label] = deviations
+
+    for label, placement in MOLECULAR_SERIES:
+        deviations = []
+        for size_mb in sizes_mb:
+            config = MolecularCacheConfig.for_total_size(
+                size_mb << 20, clusters=1, tiles_per_cluster=4, strict=False
+            )
+            run = run_molecular_workload(
+                traces,
+                config,
+                goals,
+                placement=placement,
+                tile_assignment={asid: asid for asid in range(len(APPS))},
+            )
+            deviations.append(
+                average_deviation(run.miss_rates, goals, deviation_mode)
+            )
+            result.miss_rates[(label, size_mb)] = {
+                APPS[a]: r for a, r in run.miss_rates.items()
+            }
+        result.series[label] = deviations
+
+    return result

@@ -1,0 +1,98 @@
+"""Figure 6 — hits-per-molecule (HPM) for Random vs Randy placement.
+
+For the mixed 12-benchmark workload of Table 2, the paper plots each
+application's HPM (hit rate per allocated molecule, log scale) under the
+two placement policies, and observes that Randy's HPM is higher for all
+but four applications while achieving a ~9 % lower overall miss rate with
+~5 % more molecules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.experiments.common import MolecularRun
+from repro.sim.experiments.table2 import Table2Result, run_table2
+from repro.sim.report import format_table
+from repro.workloads.mixed import MIXED_SUITE
+
+
+@dataclass(slots=True)
+class Figure6Result:
+    """Per-application HPM for each placement policy."""
+
+    hpm: dict[str, dict[str, float]] = field(default_factory=dict)
+    overall_miss_rate: dict[str, float] = field(default_factory=dict)
+    mean_molecules: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def miss_rate_improvement(self) -> float:
+        """Randy's relative miss-rate reduction vs Random (paper: ~9 %)."""
+        random_mr = self.overall_miss_rate.get("random", 0.0)
+        randy_mr = self.overall_miss_rate.get("randy", 0.0)
+        if random_mr == 0:
+            return 0.0
+        return (random_mr - randy_mr) / random_mr
+
+    @property
+    def molecule_overhead(self) -> float:
+        """Randy's relative extra molecule usage vs Random (paper: ~5 %)."""
+        random_m = self.mean_molecules.get("random", 0.0)
+        randy_m = self.mean_molecules.get("randy", 0.0)
+        if random_m == 0:
+            return 0.0
+        return (randy_m - random_m) / random_m
+
+    def format(self) -> str:
+        policies = sorted(self.hpm)
+        rows = []
+        for name in MIXED_SUITE:
+            rows.append([name, *[self.hpm[p].get(name, 0.0) for p in policies]])
+        table = format_table(
+            ["benchmark", *[f"HPM {p}" for p in policies]],
+            rows,
+            title="Figure 6 — hits per molecule, Random vs Randy",
+            float_format="{:.5f}",
+        )
+        summary = (
+            f"\noverall miss rate: "
+            + ", ".join(f"{p}={self.overall_miss_rate[p]:.3f}" for p in policies)
+            + f"\nmean molecules in use: "
+            + ", ".join(f"{p}={self.mean_molecules[p]:.1f}" for p in policies)
+            + f"\nRandy miss-rate improvement: {self.miss_rate_improvement:+.1%}"
+            f" (paper: +9%) with {self.molecule_overhead:+.1%} more molecules"
+            f" (paper: +5%)"
+        )
+        return table + summary
+
+
+def _collect(run: MolecularRun) -> tuple[dict[str, float], float, float]:
+    names = list(MIXED_SUITE)
+    hpm: dict[str, float] = {}
+    total_molecules = 0.0
+    for asid, region in run.cache.regions.items():
+        hpm[names[asid]] = region.hits_per_molecule()
+        total_molecules += region.mean_molecules
+    overall = run.result.overall_miss_rate()
+    return hpm, overall, total_molecules
+
+
+def run_figure6(
+    refs_per_app: int = 300_000,
+    seed: int = 1,
+    table2: Table2Result | None = None,
+) -> Figure6Result:
+    """Reproduce Figure 6. Pass an existing Table 2 result to avoid
+    re-running the (expensive) molecular simulations."""
+    if table2 is None or not table2.molecular_runs:
+        # run_table2 applies REPRO_SCALE itself.
+        table2 = run_table2(
+            refs_per_app=refs_per_app, seed=seed, include_traditional=False
+        )
+    result = Figure6Result()
+    for placement, run in table2.molecular_runs.items():
+        hpm, overall, molecules = _collect(run)
+        result.hpm[placement] = hpm
+        result.overall_miss_rate[placement] = overall
+        result.mean_molecules[placement] = molecules
+    return result

@@ -1,0 +1,114 @@
+"""Table 5 — the power-deviation product.
+
+Combines Table 2's deviations with Table 4's powers: for the 8 MB 4-way
+and 8-way traditional caches, the product of their dynamic power and their
+mixed-workload deviation, against the 6 MB molecular cache (Randy) running
+at the same frequencies. The paper reports the molecular cache winning
+both comparisons (0.909 vs 1.890 and 0.425 vs 0.870).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.energy import MolecularEnergyModel
+from repro.power.metrics import power_deviation_product
+from repro.power.model import CacheOrganization, CactiModel
+from repro.sim.experiments.table2 import Table2Result, run_table2
+from repro.sim.experiments.table4 import TABLE3_MOLECULAR, TRADITIONAL_PORTS
+from repro.sim.report import format_table
+
+#: Paper Table 5 values: traditional label -> (traditional PDP, molecular PDP).
+PAPER_TABLE5 = {
+    "8MB 4way": (1.890, 0.909),
+    "8MB 8way": (0.870, 0.425),
+}
+
+
+@dataclass(slots=True)
+class Table5Row:
+    cache_type: str
+    traditional_pdp: float
+    molecular_pdp: float
+    paper_traditional_pdp: float
+    paper_molecular_pdp: float
+
+    @property
+    def molecular_wins(self) -> bool:
+        return self.molecular_pdp < self.traditional_pdp
+
+
+@dataclass(slots=True)
+class Table5Result:
+    rows: list[Table5Row] = field(default_factory=list)
+
+    def row(self, cache_type: str) -> Table5Row:
+        for row in self.rows:
+            if row.cache_type == cache_type:
+                return row
+        raise KeyError(cache_type)
+
+    def format(self) -> str:
+        table_rows = [
+            [
+                row.cache_type,
+                f"{row.traditional_pdp:.3f} ({row.paper_traditional_pdp:.3f})",
+                f"{row.molecular_pdp:.3f} ({row.paper_molecular_pdp:.3f})",
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            ["cache type", "PDP trad (paper)", "PDP molecular (paper)"],
+            table_rows,
+            title="Table 5 — power-deviation product; ours (paper)",
+        )
+
+
+def run_table5(
+    table2: Table2Result | None = None,
+    refs_per_app: int = 300_000,
+    seed: int = 1,
+    model: CactiModel | None = None,
+) -> Table5Result:
+    """Reproduce Table 5. Pass an existing Table 2 result to reuse its
+    (expensive) simulations; otherwise one is run."""
+    model = model or CactiModel()
+    if table2 is None:
+        table2 = run_table2(refs_per_app=refs_per_app, seed=seed)
+    energy = MolecularEnergyModel(TABLE3_MOLECULAR, model)
+    randy_run = table2.molecular_runs.get("randy")
+    if randy_run is None:
+        raise ValueError("Table 5 needs a Randy molecular run in the Table 2 result")
+    molecular_deviation = table2.deviations["6MB Molecular Randy"]
+    mixed_stats = randy_run.cache.stats
+
+    result = Table5Result()
+    for label, assoc in (("8MB 4way", 4), ("8MB 8way", 8)):
+        if label not in table2.deviations:
+            continue
+        evaluation = model.evaluate(
+            CacheOrganization(
+                TABLE3_MOLECULAR.total_bytes,
+                assoc,
+                TABLE3_MOLECULAR.line_bytes,
+                TRADITIONAL_PORTS,
+            )
+        )
+        freq = evaluation.frequency_mhz
+        trad_pdp = power_deviation_product(
+            evaluation.power_watts(), table2.deviations[label]
+        )
+        mol_pdp = power_deviation_product(
+            energy.average_power_w(mixed_stats, freq), molecular_deviation
+        )
+        paper_trad, paper_mol = PAPER_TABLE5[label]
+        result.rows.append(
+            Table5Row(
+                cache_type=label,
+                traditional_pdp=trad_pdp,
+                molecular_pdp=mol_pdp,
+                paper_traditional_pdp=paper_trad,
+                paper_molecular_pdp=paper_mol,
+            )
+        )
+    return result

@@ -1,0 +1,163 @@
+"""Full-platform simulation: coherent cores over a shared (molecular) L2.
+
+Composes every substrate in the library into the CMP of the paper's
+Figure 2: per-core private L1s kept coherent by a snooping MESI bus
+(:mod:`repro.caches.coherence`), a shared second level — molecular or
+traditional — and a cycle-based core timing model in which each core's
+issue rate is throttled by its *actual* access latencies (L1 hit, L2 hit
+with hierarchical-search delay, or memory).
+
+Compared with :class:`repro.sim.cmp.CMPRunner` (which drives post-L1
+traces with an abstract penalty), the platform runs processor-side traces
+end to end and reports throughput per core — the "application latency and
+throughput" consequences the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import heapq
+
+from repro.caches.coherence import SnoopingBus
+from repro.common.errors import ConfigError
+from repro.molecular.cache import MolecularCache
+from repro.trace.container import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class PlatformConfig:
+    """Timing and L1 geometry for the platform."""
+
+    l1_size_bytes: int = 16 * 1024
+    l1_associativity: int = 4
+    line_bytes: int = 64
+    l1_hit_cycles: int = 2
+    l2_base_cycles: int = 10  # interconnect to the shared level and back
+    memory_cycles: int = 200  # used when the L2 is a traditional cache
+    warmup_refs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.l1_hit_cycles < 1 or self.l2_base_cycles < 0 or self.memory_cycles < 0:
+            raise ConfigError("cycle parameters must be non-negative (L1 >= 1)")
+
+
+@dataclass(slots=True)
+class CoreReport:
+    """Per-core outcome of a platform run."""
+
+    core_id: int
+    references: int = 0
+    l1_hits: int = 0
+    cycles: float = 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.references if self.references else 0.0
+
+    @property
+    def references_per_kcycle(self) -> float:
+        """Throughput: references retired per thousand cycles."""
+        if self.cycles == 0:
+            return 0.0
+        return 1000.0 * self.references / self.cycles
+
+
+@dataclass(slots=True)
+class PlatformResult:
+    cores: dict[int, CoreReport] = field(default_factory=dict)
+    end_cycle: float = 0.0
+
+    def throughput(self, core: int) -> float:
+        return self.cores[core].references_per_kcycle
+
+
+class CMPPlatform:
+    """Cores + coherent L1s + a shared L2, with latency-driven timing."""
+
+    def __init__(
+        self,
+        cores: int,
+        shared_cache,
+        config: PlatformConfig | None = None,
+        asid_of_core: dict[int, int] | None = None,
+    ) -> None:
+        self.config = config or PlatformConfig()
+        self.bus = SnoopingBus(
+            cores,
+            shared_cache,
+            l1_size_bytes=self.config.l1_size_bytes,
+            l1_associativity=self.config.l1_associativity,
+            line_bytes=self.config.line_bytes,
+            asid_of_core=asid_of_core,
+        )
+        self.shared = shared_cache
+        self._is_molecular = isinstance(shared_cache, MolecularCache)
+
+    # ----------------------------------------------------------- internals
+
+    def _access_cycles(self, core: int, block: int, write: bool) -> tuple[bool, float]:
+        """Perform one reference; returns (l1_hit, cycles consumed)."""
+        if self._is_molecular:
+            latency_before = self.shared.stats.latency_cycles
+        else:
+            misses_before = self.shared.stats.total.misses
+        l1_hit = self.bus.access(core, block, write)
+        if l1_hit:
+            return True, float(self.config.l1_hit_cycles)
+        cycles = float(self.config.l1_hit_cycles + self.config.l2_base_cycles)
+        if self._is_molecular:
+            # The molecular cache accounted the exact access latency
+            # (ASID stage, probes, Ulmo search, memory) — charge it.
+            cycles += self.shared.stats.latency_cycles - latency_before
+        elif self.shared.stats.total.misses > misses_before:
+            cycles += self.config.memory_cycles
+        return False, cycles
+
+    # ----------------------------------------------------------------- API
+
+    def run(self, traces: dict[int, Trace]) -> PlatformResult:
+        """Run one trace per core concurrently until the first exhausts."""
+        if not traces:
+            raise ConfigError("need at least one core trace")
+        for core in traces:
+            if core < 0 or core >= len(self.bus.l1s):
+                raise ConfigError(f"no core {core} on this platform")
+            if len(traces[core]) == 0:
+                raise ConfigError(f"trace for core {core} is empty")
+
+        streams = {
+            core: (
+                trace.blocks(self.config.line_bytes).tolist(),
+                trace.writes.tolist(),
+            )
+            for core, trace in traces.items()
+        }
+        result = PlatformResult(
+            cores={core: CoreReport(core_id=core) for core in streams}
+        )
+        heap = [(0.0, core, core, 0) for core in sorted(streams)]
+        heapq.heapify(heap)
+        issued = 0
+        warmed = self.config.warmup_refs == 0
+
+        while True:
+            now, tiebreak, core, index = heapq.heappop(heap)
+            blocks, writes = streams[core]
+            l1_hit, cycles = self._access_cycles(core, blocks[index], writes[index])
+            issued += 1
+            report = result.cores[core]
+            report.references += 1
+            report.l1_hits += l1_hit
+            report.cycles += cycles
+            if not warmed and issued >= self.config.warmup_refs:
+                warmed = True
+                for report in result.cores.values():
+                    report.references = 0
+                    report.l1_hits = 0
+                    report.cycles = 0.0
+            index += 1
+            if index >= len(blocks):
+                result.end_cycle = now + cycles
+                break
+            heapq.heappush(heap, (now + cycles, tiebreak, core, index))
+        return result

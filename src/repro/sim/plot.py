@@ -1,0 +1,78 @@
+"""ASCII chart rendering for figure-style results.
+
+The benches save numeric tables; for terminal-friendly *figures* (Figure 5
+is a line chart in the paper) this module renders series as an ASCII
+chart — no plotting dependency, deterministic output, easy to test.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.common.errors import ConfigError
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    x_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    title: str | None = None,
+    y_format: str = "{:.2f}",
+) -> str:
+    """Render series as an ASCII scatter/line chart.
+
+    Each series gets a marker; points that collide show the marker of the
+    series listed first. A legend maps markers to series names.
+    """
+    if not series:
+        raise ConfigError("need at least one series")
+    if height < 3:
+        raise ConfigError("chart height must be >= 3")
+    n_points = len(x_labels)
+    for name, values in series.items():
+        if len(values) != n_points:
+            raise ConfigError(
+                f"series {name!r} has {len(values)} values for {n_points} x labels"
+            )
+    if len(series) > len(_MARKERS):
+        raise ConfigError(f"at most {len(_MARKERS)} series supported")
+
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    col_width = max(max(len(str(x)) for x in x_labels) + 2, 6)
+    y_width = max(len(y_format.format(v)) for v in (lo, hi)) + 1
+
+    def row_of(value: float) -> int:
+        return round((value - lo) / (hi - lo) * (height - 1))
+
+    grid = [[" "] * (n_points * col_width) for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index]
+        for point, value in enumerate(values):
+            row = height - 1 - row_of(value)
+            col = point * col_width + col_width // 2
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        value = hi - (hi - lo) * row / (height - 1)
+        label = y_format.format(value).rjust(y_width)
+        lines.append(f"{label} |{''.join(grid[row])}")
+    lines.append(" " * y_width + " +" + "-" * (n_points * col_width))
+    x_axis = " " * (y_width + 2)
+    for x in x_labels:
+        x_axis += str(x).center(col_width)
+    lines.append(x_axis)
+    legend = "  ".join(
+        f"{_MARKERS[i]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (y_width + 2) + legend)
+    return "\n".join(lines)

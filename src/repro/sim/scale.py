@@ -1,0 +1,37 @@
+"""Global experiment scaling.
+
+The paper's traces hold ~3.9 M references; a pure-Python simulator wants
+something smaller by default. Every experiment harness multiplies its
+reference counts by ``REPRO_SCALE`` (a float environment variable,
+default 1.0), so::
+
+    REPRO_SCALE=0.25 pytest benchmarks/   # quick look
+    REPRO_SCALE=4    pytest benchmarks/   # paper-scale statistics
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.common.errors import ConfigError
+
+_ENV_VAR = "REPRO_SCALE"
+
+
+def scale_factor() -> float:
+    """The current global scale factor (validated)."""
+    raw = os.environ.get(_ENV_VAR, "")
+    if not raw:
+        return 1.0
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(f"{_ENV_VAR}={raw!r} is not a number") from None
+    if value <= 0:
+        raise ConfigError(f"{_ENV_VAR} must be positive, got {value}")
+    return value
+
+
+def scaled(refs: int, minimum: int = 10_000) -> int:
+    """``refs`` adjusted by the global scale factor (floored)."""
+    return max(minimum, int(refs * scale_factor()))

@@ -1,0 +1,21 @@
+"""Memory-reference traces: container, Dinero-format IO, interleaving, L1 filter.
+
+This package replaces the paper's SESC + trace-file front end. Traces are
+columnar (numpy arrays) for speed; the Dinero ``din`` text format is
+supported for interoperability with classic tools.
+"""
+
+from repro.trace.container import Trace
+from repro.trace.dinero import read_dinero, write_dinero
+from repro.trace.interleave import interleave_random, interleave_round_robin
+from repro.trace.l1filter import L1Filter, filter_through_l1
+
+__all__ = [
+    "L1Filter",
+    "Trace",
+    "filter_through_l1",
+    "interleave_random",
+    "interleave_round_robin",
+    "read_dinero",
+    "write_dinero",
+]

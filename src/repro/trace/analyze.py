@@ -1,0 +1,90 @@
+"""Trace characterisation: footprint, locality and mix statistics.
+
+A small analysis toolkit over :class:`~repro.trace.Trace` objects — the
+kind of report one runs before deciding cache parameters: footprint,
+read/write mix, sequential-run structure (spatial locality), per-ASID
+breakdown, and a sampled LRU miss curve via the stack-distance engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.reuse import StackDistanceAnalyzer
+from repro.common.errors import ConfigError
+from repro.trace.container import Trace
+
+
+@dataclass(slots=True)
+class TraceProfile:
+    """Summary statistics of one trace (per-ASID or overall)."""
+
+    references: int
+    footprint_blocks: int
+    write_fraction: float
+    mean_run_length: float
+    sequential_fraction: float
+    miss_curve: dict[int, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "references": self.references,
+            "footprint_blocks": self.footprint_blocks,
+            "footprint_bytes": self.footprint_blocks * 64,
+            "write_fraction": self.write_fraction,
+            "mean_run_length": self.mean_run_length,
+            "sequential_fraction": self.sequential_fraction,
+            "miss_curve": dict(self.miss_curve),
+        }
+
+
+def _run_lengths(blocks: np.ndarray) -> np.ndarray:
+    """Lengths of maximal +1-stride runs in the block stream."""
+    if len(blocks) == 0:
+        return np.empty(0, dtype=np.int64)
+    breaks = np.nonzero(np.diff(blocks) != 1)[0]
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks + 1, [len(blocks)]))
+    return ends - starts
+
+
+def profile_trace(
+    trace: Trace,
+    line_bytes: int = 64,
+    curve_capacities: tuple[int, ...] = (1024, 4096, 16384, 65536),
+    max_curve_refs: int = 200_000,
+) -> TraceProfile:
+    """Characterise a trace (single address stream).
+
+    ``curve_capacities`` are in blocks; the miss curve is computed over at
+    most ``max_curve_refs`` references (stack distance is O(log n) per
+    reference, but huge traces do not need full passes to characterise).
+    """
+    if len(trace) == 0:
+        raise ConfigError("cannot profile an empty trace")
+    blocks = trace.blocks(line_bytes)
+    runs = _run_lengths(blocks)
+    analyzer = StackDistanceAnalyzer()
+    sample = blocks[:max_curve_refs].tolist()
+    analyzer.run(sample)
+    return TraceProfile(
+        references=len(trace),
+        footprint_blocks=int(np.unique(blocks).size),
+        write_fraction=float(trace.writes.mean()),
+        mean_run_length=float(runs.mean()) if runs.size else 0.0,
+        sequential_fraction=float((np.diff(blocks) == 1).mean())
+        if len(blocks) > 1
+        else 0.0,
+        miss_curve=analyzer.miss_curve(curve_capacities),
+    )
+
+
+def profile_by_asid(trace: Trace, line_bytes: int = 64, **kwargs) -> dict[int, TraceProfile]:
+    """Per-application profiles of a multi-programmed trace."""
+    profiles: dict[int, TraceProfile] = {}
+    for asid in trace.unique_asids():
+        mask = trace.asids == asid
+        profiles[asid] = profile_trace(trace[mask], line_bytes, **kwargs)
+    return profiles

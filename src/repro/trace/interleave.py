@@ -1,0 +1,128 @@
+"""Interleaving per-application traces into one shared-cache reference stream.
+
+The paper runs benchmarks "concurrently" on a CMP and observes the shared
+L2. Once each application is reduced to its own (post-L1) trace, concurrent
+execution at the shared cache is an interleaving of those traces. Two
+interleavers are provided:
+
+* :func:`interleave_round_robin` — one quantum of references from each
+  application in turn; deterministic and the default for all experiments
+  (applications progress at equal rates, like same-IPC cores).
+* :func:`interleave_random` — each next reference drawn from a random
+  application, optionally weighted (models unequal memory intensity).
+
+Both stop when the shortest source is exhausted by default (so every
+application is "running" for the whole interleaved window), or exhaust all
+sources with ``drain=True``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.trace.container import Trace
+
+
+def _check_sources(traces: Sequence[Trace]) -> None:
+    if not traces:
+        raise ConfigError("need at least one trace to interleave")
+    for trace in traces:
+        if len(trace) == 0:
+            raise ConfigError("cannot interleave an empty trace")
+
+
+def interleave_round_robin(
+    traces: Sequence[Trace], quantum: int = 1, drain: bool = False
+) -> Trace:
+    """Merge traces by taking ``quantum`` references from each in turn.
+
+    With ``drain=False`` (default) the merge stops after the last full
+    round in which every source still had references, keeping the
+    application mix stationary. With ``drain=True`` exhausted sources drop
+    out and the rest continue.
+    """
+    _check_sources(traces)
+    if quantum < 1:
+        raise ConfigError(f"quantum must be >= 1, got {quantum}")
+
+    if not drain:
+        rounds = min(len(t) for t in traces) // quantum
+        if rounds == 0:
+            raise ConfigError(
+                f"shortest trace ({min(len(t) for t in traces)} refs) is shorter "
+                f"than one quantum ({quantum})"
+            )
+        pieces = []
+        for r in range(rounds):
+            lo, hi = r * quantum, (r + 1) * quantum
+            for trace in traces:
+                pieces.append(trace[lo:hi])
+        return Trace.concatenate(pieces)
+
+    cursors = [0] * len(traces)
+    pieces = []
+    active = set(range(len(traces)))
+    while active:
+        for index in list(range(len(traces))):
+            if index not in active:
+                continue
+            trace = traces[index]
+            lo = cursors[index]
+            hi = min(lo + quantum, len(trace))
+            pieces.append(trace[lo:hi])
+            cursors[index] = hi
+            if hi >= len(trace):
+                active.discard(index)
+    return Trace.concatenate(pieces)
+
+
+def interleave_random(
+    traces: Sequence[Trace],
+    weights: Sequence[float] | None = None,
+    seed: int = 0,
+) -> Trace:
+    """Merge traces by drawing each next reference from a random source.
+
+    ``weights`` gives relative reference rates (normalised internally);
+    defaults to uniform. The merge stops when any source is exhausted, so
+    the produced length is random but the mix is stationary throughout.
+    """
+    _check_sources(traces)
+    k = len(traces)
+    if weights is None:
+        probabilities = np.full(k, 1.0 / k)
+    else:
+        if len(weights) != k:
+            raise ConfigError(f"{len(weights)} weights for {k} traces")
+        weights_arr = np.asarray(weights, dtype=np.float64)
+        if np.any(weights_arr <= 0):
+            raise ConfigError("interleave weights must be positive")
+        probabilities = weights_arr / weights_arr.sum()
+
+    rng = np.random.default_rng(seed)
+    # Draw a generous batch of source choices, then cut at the first point
+    # where any source would run dry.
+    total = sum(len(t) for t in traces)
+    choices = rng.choice(k, size=total, p=probabilities)
+    cut = total
+    for index, trace in enumerate(traces):
+        positions = np.nonzero(choices == index)[0]
+        if positions.size > len(trace):
+            # The reference after this source's last one is where the merge
+            # must stop.
+            cut = min(cut, int(positions[len(trace)]))
+    choices = choices[:cut]
+
+    addresses = np.empty(cut, dtype=np.int64)
+    asids = np.empty(cut, dtype=np.int32)
+    writes = np.empty(cut, dtype=np.bool_)
+    for index, trace in enumerate(traces):
+        positions = np.nonzero(choices == index)[0]
+        take = positions.size
+        addresses[positions] = trace.addresses[:take]
+        asids[positions] = trace.asids[:take]
+        writes[positions] = trace.writes[:take]
+    return Trace(addresses, asids, writes)

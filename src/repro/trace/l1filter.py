@@ -1,0 +1,73 @@
+"""L1 miss filter: reduce a processor-side trace to the stream an L2 sees.
+
+The paper's methodology: "The L1-Data misses were recorded and the traces
+were used as input to a modified version of Dinero". :class:`L1Filter`
+reproduces that recording step — it runs references through a private L1
+model per application and emits only the misses.
+
+The bundled workload models are calibrated *post-L1* (see DESIGN.md), so
+the experiment harnesses do not apply this filter; it exists for users who
+bring processor-side traces of their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caches.setassoc import SetAssociativeCache
+from repro.trace.container import Trace
+
+
+class L1Filter:
+    """Per-ASID private L1 caches that pass through only their misses.
+
+    Parameters
+    ----------
+    size_bytes, associativity, line_bytes, policy:
+        Geometry of each private L1 (defaults: 16 KB 4-way 64 B LRU, a
+        typical embedded/early-2000s L1-D).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = 16 * 1024,
+        associativity: int = 4,
+        line_bytes: int = 64,
+        policy: str = "lru",
+    ) -> None:
+        self._geometry = (size_bytes, associativity, line_bytes, policy)
+        self._l1s: dict[int, SetAssociativeCache] = {}
+        self.line_bytes = line_bytes
+
+    def _l1_for(self, asid: int) -> SetAssociativeCache:
+        l1 = self._l1s.get(asid)
+        if l1 is None:
+            size, assoc, line, policy = self._geometry
+            l1 = SetAssociativeCache(size, assoc, line, policy, name=f"L1-D asid{asid}")
+            self._l1s[asid] = l1
+        return l1
+
+    def filter(self, trace: Trace) -> Trace:
+        """Return the sub-trace of references that miss in their L1."""
+        keep = np.zeros(len(trace), dtype=np.bool_)
+        blocks = trace.blocks(self.line_bytes).tolist()
+        asids = trace.asids.tolist()
+        writes = trace.writes.tolist()
+        for index, (block, asid, write) in enumerate(zip(blocks, asids, writes)):
+            if not self._l1_for(asid).access_block(block, asid, write).hit:
+                keep[index] = True
+        return trace[keep]
+
+    def miss_rate(self, asid: int | None = None) -> float:
+        """Observed L1 miss rate (overall requires a single filter pass)."""
+        if asid is not None:
+            l1 = self._l1s.get(asid)
+            return l1.stats.miss_rate() if l1 is not None else 0.0
+        accesses = sum(l1.stats.total.accesses for l1 in self._l1s.values())
+        misses = sum(l1.stats.total.misses for l1 in self._l1s.values())
+        return misses / accesses if accesses else 0.0
+
+
+def filter_through_l1(trace: Trace, **l1_kwargs) -> Trace:
+    """One-shot convenience wrapper around :class:`L1Filter`."""
+    return L1Filter(**l1_kwargs).filter(trace)

@@ -1,0 +1,121 @@
+"""Fit a ring-mixture model to a measured miss curve.
+
+Closes the calibration loop: given a trace (or any measured LRU
+miss-rate-vs-capacity curve), construct a :class:`BenchmarkModel` whose
+capacity behaviour approximates it. This is how the bundled SPEC stand-ins
+were derived from the paper's Table 1, and it lets users turn their own
+traces into compact, regenerable synthetic models.
+
+The construction is direct: a ring of size ``S`` accessed uniformly
+contributes its weight to the miss rate while the cache is smaller than
+``S`` and nothing once it fits, so a piecewise-constant miss curve with
+steps at capacities ``c_1 < c_2 < ...`` maps to rings of those sizes whose
+weights are the step heights, plus a huge "far" ring carrying the
+capacity-insensitive floor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.common.errors import ConfigError
+from repro.trace.container import Trace
+from repro.workloads.model import BenchmarkModel, RingComponent
+
+#: Ring standing in for compulsory / capacity-insensitive misses.
+FAR_BLOCKS = 1 << 21
+#: Weights below this are noise, not a ring.
+MIN_WEIGHT = 1e-3
+
+
+def model_from_miss_curve(
+    curve: Mapping[int, float],
+    name: str = "fitted",
+    run_length: int = 1,
+    write_fraction: float = 0.25,
+) -> BenchmarkModel:
+    """Build a ring mixture whose LRU miss curve approximates ``curve``.
+
+    ``curve`` maps capacity (in blocks) to miss rate; it must be
+    non-increasing in capacity. The fit is exact at the given capacities
+    (up to ring-size granularity) for an ideal fully-associative LRU.
+    """
+    if not curve:
+        raise ConfigError("need at least one miss-curve point")
+    capacities = sorted(curve)
+    rates = [curve[c] for c in capacities]
+    if any(not 0.0 <= r <= 1.0 for r in rates):
+        raise ConfigError("miss rates must be in [0, 1]")
+    for earlier, later in zip(rates, rates[1:]):
+        if later > earlier + 1e-9:
+            raise ConfigError("a miss curve must be non-increasing in capacity")
+    if capacities[0] <= 0:
+        raise ConfigError("capacities must be positive")
+
+    components: list[RingComponent] = []
+    allocated = 0
+    # Hot tier: references that hit even at the smallest capacity.
+    hit_floor = 1.0 - rates[0]
+    if hit_floor > MIN_WEIGHT:
+        components.append(
+            RingComponent(
+                weight=hit_floor,
+                blocks=max(1, capacities[0]),
+                run_length=run_length,
+            )
+        )
+        allocated = capacities[0]
+    # One ring per step of the curve. Rings nest: for everything up to
+    # capacity c_i to fit at c_i, ring i takes the capacity *increment*
+    # beyond what the inner tiers already occupy.
+    for index in range(1, len(capacities)):
+        step = rates[index - 1] - rates[index]
+        if step > MIN_WEIGHT:
+            blocks = max(1, capacities[index] - allocated)
+            components.append(
+                RingComponent(
+                    weight=step, blocks=blocks, run_length=run_length
+                )
+            )
+            allocated = capacities[index]
+    # Floor: misses no capacity removes.
+    floor = rates[-1]
+    if floor > MIN_WEIGHT or not components:
+        components.append(
+            RingComponent(weight=max(floor, MIN_WEIGHT), blocks=FAR_BLOCKS)
+        )
+    return BenchmarkModel(
+        name=name,
+        components=tuple(components),
+        write_fraction=write_fraction,
+    )
+
+
+def model_from_trace(
+    trace: Trace,
+    capacities: tuple[int, ...] = (1024, 4096, 16384, 65536),
+    name: str = "fitted",
+    line_bytes: int = 64,
+    max_refs: int = 200_000,
+) -> BenchmarkModel:
+    """Fit a model directly from a trace.
+
+    Measures the trace's LRU miss curve (Mattson, sampled to ``max_refs``
+    references), estimates its sequential-run length, and builds the ring
+    mixture.
+    """
+    from repro.trace.analyze import profile_trace
+
+    profile = profile_trace(
+        trace,
+        line_bytes=line_bytes,
+        curve_capacities=capacities,
+        max_curve_refs=max_refs,
+    )
+    run_length = max(1, round(profile.mean_run_length))
+    return model_from_miss_curve(
+        profile.miss_curve,
+        name=name,
+        run_length=run_length,
+        write_fraction=profile.write_fraction,
+    )

@@ -1,0 +1,141 @@
+"""The mixed 12-benchmark workload (SPEC + NetBench + MediaBench stand-ins).
+
+Used by Table 2, Figure 6, Table 4 (average molecular power) and Table 5.
+The paper lists crafty, gcc, gzip, parser, twolf (SPEC), CRC, DRR, NAT
+(NetBench), CJPEG, decode, epic (MediaBench) and gap (SPEC, present in
+Figure 6). The miss-rate goal for the mixed study is 25 %.
+
+Models follow the domain intuition the paper leans on: network benchmarks
+have tiny hot state plus packet streams; media benchmarks stream frames
+with high spatial locality; SPEC integer codes have layered working sets.
+Sizes in 64-byte blocks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model import BenchmarkModel, RingComponent
+from repro.workloads.spec import FAR
+
+
+def _m(name: str, *rings: RingComponent, phases: int = 1) -> BenchmarkModel:
+    return BenchmarkModel(name=name, components=rings, phases=phases)
+
+
+def _build_suite() -> dict[str, BenchmarkModel]:
+    return {
+        # --- SPEC integer -------------------------------------------------
+        "crafty": _m(
+            "crafty",
+            RingComponent(0.75, 2_500, run_length=4),
+            RingComponent(0.21, 5_000, run_length=2),
+            RingComponent(0.04, FAR),
+        ),
+        "gap": _m(
+            "gap",
+            RingComponent(0.78, 3_000, run_length=4),
+            RingComponent(0.17, 20_000, run_length=1),
+            RingComponent(0.05, FAR),
+        ),
+        "gcc": _m(
+            "gcc",
+            RingComponent(0.58, 4_000, run_length=4),
+            RingComponent(0.38, 12_000, run_length=2),
+            RingComponent(0.04, FAR),
+        ),
+        "gzip": _m(
+            "gzip",
+            RingComponent(0.42, 1_500, run_length=8),
+            RingComponent(0.55, 14_000, run_length=32),
+            RingComponent(0.03, FAR),
+        ),
+        "parser": _m(
+            "parser",
+            RingComponent(0.68, 3_000, run_length=4),
+            RingComponent(0.28, 8_500, run_length=2),
+            RingComponent(0.04, FAR),
+        ),
+        "twolf": _m(
+            "twolf",
+            RingComponent(0.82, 6_000, run_length=2),
+            RingComponent(0.14, 10_000, run_length=1),
+            RingComponent(0.04, FAR),
+        ),
+        # --- NetBench -----------------------------------------------------
+        "CRC": _m(
+            "CRC",
+            RingComponent(0.88, 300, run_length=16),
+            RingComponent(0.12, 50_000, run_length=64),
+        ),
+        "DRR": _m(
+            "DRR",
+            RingComponent(0.84, 800, run_length=8),
+            RingComponent(0.13, 8_000, run_length=2),
+            RingComponent(0.03, FAR),
+        ),
+        "NAT": _m(
+            "NAT",
+            RingComponent(0.90, 400, run_length=8),
+            RingComponent(0.07, 30_000, run_length=1),
+            RingComponent(0.03, FAR),
+        ),
+        # --- MediaBench ---------------------------------------------------
+        "CJPEG": _m(
+            "CJPEG",
+            RingComponent(0.47, 1_200, run_length=8),
+            RingComponent(0.50, 12_000, run_length=32),
+            RingComponent(0.03, FAR),
+        ),
+        "decode": _m(
+            "decode",
+            RingComponent(0.42, 900, run_length=8),
+            RingComponent(0.55, 10_000, run_length=32),
+            RingComponent(0.03, FAR),
+        ),
+        "epic": _m(
+            "epic",
+            RingComponent(0.37, 700, run_length=4),
+            RingComponent(0.60, 8_000, run_length=16),
+            RingComponent(0.03, FAR),
+        ),
+    }
+
+
+#: Figure 6's x-axis order; also defines the three tile-cluster groups of
+#: Table 2 (consecutive chunks of four, "without giving consideration to
+#: the nature of the mix" as the paper puts it).
+MIXED_SUITE = (
+    "crafty",
+    "CRC",
+    "DRR",
+    "epic",
+    "decode",
+    "gap",
+    "gcc",
+    "gzip",
+    "CJPEG",
+    "NAT",
+    "parser",
+    "twolf",
+)
+
+#: The miss-rate goal used throughout the mixed-workload experiments.
+MIXED_GOAL = 0.25
+
+
+def mixed_model(name: str) -> BenchmarkModel:
+    """Return one of the twelve mixed-suite models."""
+    suite = _build_suite()
+    try:
+        return suite[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mixed-suite model {name!r}; available: {sorted(suite)}"
+        ) from None
+
+
+def mixed_groups(group_size: int = 4) -> list[tuple[str, ...]]:
+    """Split the suite into tile-cluster groups of ``group_size``."""
+    return [
+        tuple(MIXED_SUITE[i : i + group_size])
+        for i in range(0, len(MIXED_SUITE), group_size)
+    ]

@@ -1,0 +1,26 @@
+"""Unified lookup over every bundled benchmark model."""
+
+from __future__ import annotations
+
+from repro.workloads.mixed import MIXED_SUITE, mixed_model
+from repro.workloads.model import BenchmarkModel
+from repro.workloads.spec import SPEC_QUARTET, spec_model
+
+
+def available_models() -> list[str]:
+    """Names of every bundled model (SPEC quartet + mixed suite)."""
+    names = set(SPEC_QUARTET) | set(MIXED_SUITE)
+    return sorted(names)
+
+
+def get_model(name: str) -> BenchmarkModel:
+    """Look a model up by name across both suites.
+
+    ``parser`` exists in both suites with identical parameters; the SPEC
+    variant is returned.
+    """
+    if name in SPEC_QUARTET:
+        return spec_model(name)
+    if name in MIXED_SUITE:
+        return mixed_model(name)
+    raise KeyError(f"unknown model {name!r}; available: {available_models()}")

@@ -1,0 +1,107 @@
+"""SPEC CPU2000 stand-in models: art, mcf, ammp, parser.
+
+The four benchmarks of the paper's first workload (Table 1, Figure 5) were
+chosen by the authors for their sensitivity to L2 size and associativity.
+Ring sizes below are calibrated (see ``tests/test_calibration.py``) so that
+on a shared 1 MB 4-way L2 the *alone* miss rates and the *interference*
+pattern match Table 1 qualitatively:
+
+==========  ===========  ==============  ==========================
+benchmark   alone (ours  alone (paper)   behaviour under sharing
+            target)
+==========  ===========  ==============  ==========================
+art         ~0.06        0.064           collapses when squeezed
+                                         (0.73 with all four)
+mcf         ~0.67        0.668           always capacity-starved
+ammp        ~0.01        0.008           tiny hot set, barely moves
+parser      ~0.09        0.086           mid set, very sensitive
+==========  ===========  ==============  ==========================
+
+All sizes are in 64-byte blocks (16384 blocks = 1 MB).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model import BenchmarkModel, RingComponent
+
+#: A ring far larger than any cache in the study: references to it are
+#: effectively compulsory misses, which sets each benchmark's miss-rate
+#: floor (no partition size can get below it).
+FAR = 1 << 21  # 2M blocks = 128 MB
+
+
+def _art() -> BenchmarkModel:
+    # Streaming over a ~512 KB image working set: fits in 1 MB alone (and
+    # even next to one light co-runner), collapses when three co-runners
+    # squeeze it — the paper's sharpest interference victim.
+    return BenchmarkModel(
+        name="art",
+        components=(
+            RingComponent(weight=0.90, blocks=8_000, run_length=16),
+            RingComponent(weight=0.05, blocks=256, run_length=4),
+            RingComponent(weight=0.05, blocks=FAR, run_length=2),
+        ),
+    )
+
+
+def _mcf() -> BenchmarkModel:
+    # Pointer chasing over a ~6.3 MB graph: capacity-starved at every size
+    # in the study (its miss rate barely moves under sharing because it
+    # never held much cache to begin with); only an ~5 MB partition can
+    # bring it near a 10 % goal.
+    return BenchmarkModel(
+        name="mcf",
+        components=(
+            RingComponent(weight=0.70, blocks=100_000, run_length=1),
+            RingComponent(weight=0.25, blocks=1_200, run_length=2),
+            RingComponent(weight=0.05, blocks=FAR, run_length=1),
+        ),
+    )
+
+
+def _ammp() -> BenchmarkModel:
+    # Small molecular-dynamics hot set (~110 KB): nearly immune to sharing.
+    return BenchmarkModel(
+        name="ammp",
+        components=(
+            RingComponent(weight=0.975, blocks=1_800, run_length=8),
+            RingComponent(weight=0.015, blocks=2_500, run_length=4),
+            RingComponent(weight=0.010, blocks=FAR, run_length=1),
+        ),
+    )
+
+
+def _parser() -> BenchmarkModel:
+    # Dictionary + two parse-tree tiers (~750 KB total): fits alone, sheds
+    # its outer tier next to art (0.086 -> ~0.13 in the paper) and both
+    # outer tiers with all four running (-> 0.253).
+    return BenchmarkModel(
+        name="parser",
+        components=(
+            RingComponent(weight=0.770, blocks=2_500, run_length=4),
+            RingComponent(weight=0.125, blocks=3_500, run_length=2),
+            RingComponent(weight=0.050, blocks=6_000, run_length=2),
+            RingComponent(weight=0.055, blocks=FAR, run_length=1),
+        ),
+    )
+
+
+_FACTORIES = {
+    "art": _art,
+    "mcf": _mcf,
+    "ammp": _ammp,
+    "parser": _parser,
+}
+
+#: Canonical order used by Table 1 and Figure 5.
+SPEC_QUARTET = ("art", "ammp", "parser", "mcf")
+
+
+def spec_model(name: str) -> BenchmarkModel:
+    """Return the model for one of the four SPEC stand-ins."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown SPEC model {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None

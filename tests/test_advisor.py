@@ -1,0 +1,162 @@
+"""Tests for the reuse-distance resize advisor (paper future work)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.molecular.advisor import StackDistanceAdvisor
+from repro.molecular.config import MolecularCacheConfig, ResizePolicy
+from repro.molecular.region import CacheRegion
+from repro.molecular.cache import MolecularCache
+
+
+def make_region(goal=0.1):
+    return CacheRegion(asid=0, goal=goal, home_tile_id=0)
+
+
+def feed(advisor, region, blocks):
+    for block in blocks:
+        advisor.observe(region, block)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            StackDistanceAdvisor(0)
+        with pytest.raises(ConfigError):
+            StackDistanceAdvisor(16, sampling_ratio=0)
+        with pytest.raises(ConfigError):
+            StackDistanceAdvisor(16, min_samples=0)
+
+    def test_policy_validates_advisor_name(self):
+        with pytest.raises(ConfigError):
+            ResizePolicy(advisor="oracle")
+
+
+class TestSampling:
+    def test_unmanaged_regions_not_sampled(self):
+        advisor = StackDistanceAdvisor(16, sampling_ratio=1)
+        region = CacheRegion(asid=0, goal=None, home_tile_id=0)
+        feed(advisor, region, range(100))
+        assert advisor.samples_for(0) == 0
+
+    def test_sampling_ratio_reduces_samples(self):
+        dense = StackDistanceAdvisor(16, sampling_ratio=1)
+        sparse = StackDistanceAdvisor(16, sampling_ratio=8)
+        region = make_region()
+        feed(dense, region, range(4000))
+        feed(sparse, region, range(4000))
+        assert dense.samples_for(0) == 4000
+        assert 0 < sparse.samples_for(0) < 1500
+
+    def test_reset_drops_profile(self):
+        advisor = StackDistanceAdvisor(16, sampling_ratio=1)
+        region = make_region()
+        feed(advisor, region, range(100))
+        advisor.reset(0)
+        assert advisor.samples_for(0) == 0
+
+
+class TestSizing:
+    def test_no_answer_before_min_samples(self):
+        advisor = StackDistanceAdvisor(16, sampling_ratio=1, min_samples=1000)
+        region = make_region()
+        feed(advisor, region, range(10))
+        assert advisor.target_molecules(region) is None
+
+    def test_loop_working_set_sized_correctly(self):
+        # A loop over 160 blocks with run-length-1 reuse: capacity 160
+        # blocks = 10 molecules of 16 lines meets any goal.
+        advisor = StackDistanceAdvisor(16, sampling_ratio=1, min_samples=100)
+        region = make_region(goal=0.05)
+        stream = list(range(160)) * 40
+        # interleave so distances are 159 not a scan pattern issue —
+        # plain cyclic scan has distance 159 for every warm ref.
+        feed(advisor, region, stream)
+        target = advisor.target_molecules(region)
+        assert target is not None
+        assert 10 <= target <= 11
+
+    def test_two_tier_working_set_prefers_small_tier_for_loose_goal(self):
+        # 90% of refs hit a 32-block hot set (2 molecules), 10% sweep a
+        # 3200-block ring. A 15% goal only needs the hot tier.
+        import random
+
+        rng = random.Random(1)
+        advisor = StackDistanceAdvisor(16, sampling_ratio=1, min_samples=500)
+        region = make_region(goal=0.15)
+        stream = [
+            rng.randrange(32) if rng.random() < 0.9 else 10_000 + rng.randrange(3200)
+            for _ in range(20_000)
+        ]
+        feed(advisor, region, stream)
+        target = advisor.target_molecules(region)
+        assert target is not None
+        assert target <= 8  # nowhere near the 200 molecules of the full ring
+
+    def test_cold_miss_compensation(self):
+        # A pure streaming workload (every block new) has a 100% cold miss
+        # rate that no capacity fixes; with compensation the advisor
+        # reports a tiny target instead of infinity.
+        advisor = StackDistanceAdvisor(16, sampling_ratio=1, min_samples=100)
+        region = make_region(goal=0.10)
+        feed(advisor, region, [0] * 50)  # seed one warm block
+        feed(advisor, region, range(1, 5000))
+        target = advisor.target_molecules(region)
+        assert target is not None
+        assert target <= 2
+
+    def test_scaled_sampling_recovers_magnitude(self):
+        # With 1-in-8 spatial sampling the estimated capacity stays within
+        # a factor ~2 of the dense estimate.
+        stream = list(range(320)) * 30
+        region = make_region(goal=0.05)
+        dense = StackDistanceAdvisor(16, sampling_ratio=1, min_samples=100)
+        sparse = StackDistanceAdvisor(16, sampling_ratio=8, min_samples=50)
+        feed(dense, region, stream)
+        feed(sparse, region, stream)
+        dense_target = dense.target_molecules(region)
+        sparse_target = sparse.target_molecules(region)
+        assert dense_target is not None and sparse_target is not None
+        assert 0.4 < sparse_target / dense_target < 2.5
+
+
+class TestResizerIntegration:
+    def _cache(self, advisor):
+        config = MolecularCacheConfig(
+            molecule_bytes=1024, molecules_per_tile=8, tiles_per_cluster=2,
+            clusters=1, strict=False,
+        )
+        policy = ResizePolicy(
+            period=500, trigger="constant", advisor=advisor,
+            min_window_refs=16, min_molecules=1,
+        )
+        return MolecularCache(config, resize_policy=policy)
+
+    def test_stack_advisor_attached(self):
+        cache = self._cache("stack")
+        assert cache.resizer.advisor is not None
+        cache = self._cache("linear")
+        assert cache.resizer.advisor is None
+
+    def test_stack_advisor_rightsizes_oversized_partition(self):
+        cache = self._cache("stack")
+        region = cache.assign_application(0, goal=0.10, initial_molecules=12)
+        # hot set of 32 blocks = 2 molecules; far noise ~5%
+        import random
+
+        rng = random.Random(2)
+        for _ in range(8000):
+            block = rng.randrange(32) if rng.random() < 0.95 else 50_000 + rng.randrange(100_000)
+            cache.access_block(block, 0)
+        assert region.molecule_count <= 6
+        cache.resizer.check_consistency()
+
+    def test_stack_advisor_grows_undersized_partition(self):
+        cache = self._cache("stack")
+        region = cache.assign_application(0, goal=0.10, initial_molecules=2)
+        import random
+
+        rng = random.Random(3)
+        for _ in range(8000):
+            cache.access_block(rng.randrange(120), 0)  # needs ~8 molecules
+        assert region.molecule_count >= 7

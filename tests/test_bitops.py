@@ -1,0 +1,100 @@
+"""Unit tests for repro.common.bitops."""
+
+import pytest
+
+from repro.common.bitops import (
+    align_down,
+    align_up,
+    bit_slice,
+    block_address,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro.common.errors import ConfigError
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_power_of_two(value)
+
+    def test_negative(self):
+        assert not is_power_of_two(-4)
+
+
+class TestILog2:
+    def test_values(self):
+        assert ilog2(1) == 0
+        assert ilog2(64) == 6
+        assert ilog2(8 * 1024) == 13
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ConfigError):
+            ilog2(96)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            ilog2(0)
+
+
+class TestNextPowerOfTwo:
+    def test_exact_power_unchanged(self):
+        assert next_power_of_two(64) == 64
+
+    def test_rounds_up(self):
+        assert next_power_of_two(65) == 128
+        assert next_power_of_two(3) == 4
+
+    def test_one(self):
+        assert next_power_of_two(1) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            next_power_of_two(0)
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(127, 64) == 64
+        assert align_down(128, 64) == 128
+        assert align_down(0, 64) == 0
+
+    def test_align_up(self):
+        assert align_up(1, 64) == 64
+        assert align_up(64, 64) == 64
+        assert align_up(65, 64) == 128
+
+    def test_rejects_non_power_alignment(self):
+        with pytest.raises(ConfigError):
+            align_down(100, 48)
+        with pytest.raises(ConfigError):
+            align_up(100, 48)
+
+
+class TestBitSlice:
+    def test_middle_bits(self):
+        assert bit_slice(0b110100, 2, 3) == 0b101
+
+    def test_zero_width(self):
+        assert bit_slice(0xFFFF, 4, 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            bit_slice(1, -1, 2)
+
+
+class TestBlockAddress:
+    def test_64b_lines(self):
+        assert block_address(0, 64) == 0
+        assert block_address(63, 64) == 0
+        assert block_address(64, 64) == 1
+        assert block_address(1 << 20, 64) == 1 << 14
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ConfigError):
+            block_address(128, 100)

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_size
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("8192") == 8192
+
+    def test_kilobytes(self):
+        assert parse_size("512KB") == 512 * 1024
+        assert parse_size("512k") == 512 * 1024
+
+    def test_megabytes(self):
+        assert parse_size("4MB") == 4 << 20
+        assert parse_size("4m") == 4 << 20
+
+    def test_fractional(self):
+        assert parse_size("0.5MB") == 512 * 1024
+
+    def test_rejects_garbage(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            parse_size("lots")
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "art" in out and "mcf" in out and "CJPEG" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "ammp", "--refs", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "footprint_blocks" in out
+        assert "LRU miss curve" in out
+
+    def test_profile_unknown_model_errors(self, capsys):
+        assert main(["profile", "quake3", "--refs", "1000"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_power(self, capsys):
+        assert main(["power", "--size", "1MB", "--assoc", "2", "--ports", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "nJ/access" in out and "MHz" in out
+
+    def test_simulate_molecular(self, capsys):
+        code = main(
+            [
+                "simulate", "--size", "1MB", "--refs", "20000",
+                "--workloads", "ammp,parser", "--tiles", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partition sizes" in out
+        assert "average deviation" in out
+
+    def test_simulate_setassoc(self, capsys):
+        code = main(
+            [
+                "simulate", "--cache", "setassoc", "--size", "1MB",
+                "--assoc", "4", "--refs", "20000", "--workloads", "ammp",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miss rate" in out
+
+    def test_simulate_empty_workloads_errors(self, capsys):
+        assert main(["simulate", "--workloads", "", "--refs", "1000"]) == 2
+
+    def test_experiment_figure5_chart(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        code = main(
+            ["experiment", "figure5", "--graph", "B", "--refs", "30000",
+             "--chart"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5 graph B" in out
+        assert "Molecular (Randy)" in out
+        assert "*=" in out  # the chart legend
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

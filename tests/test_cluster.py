@@ -1,0 +1,94 @@
+"""Unit tests for tile clusters and the Ulmo controller."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.molecular.cluster import TileCluster
+from repro.molecular.region import CacheRegion
+
+
+def make_cluster(tiles=2, molecules=4, lines=16) -> TileCluster:
+    return TileCluster(
+        cluster_id=0,
+        tile_count=tiles,
+        molecules_per_tile=molecules,
+        lines_per_molecule=lines,
+    )
+
+
+class TestStructure:
+    def test_tile_ids(self):
+        cluster = TileCluster(1, 3, 2, 16, first_tile_id=4, first_molecule_id=100)
+        assert [t.tile_id for t in cluster.tiles] == [4, 5, 6]
+        assert cluster.tile(5).tile_id == 5
+        ids = [m.molecule_id for t in cluster.tiles for m in t.molecules]
+        assert ids == list(range(100, 106))
+
+    def test_unknown_tile_rejected(self):
+        with pytest.raises(ConfigError):
+            make_cluster().tile(99)
+
+    def test_counts(self):
+        cluster = make_cluster(tiles=2, molecules=4)
+        assert cluster.molecule_count == 8
+        assert cluster.free_count == 8
+
+    def test_rejects_zero_tiles(self):
+        with pytest.raises(ConfigError):
+            make_cluster(tiles=0)
+
+
+class TestUlmoAllocation:
+    def test_prefers_home_tile(self):
+        cluster = make_cluster(tiles=2, molecules=4)
+        granted = cluster.ulmo.allocate(asid=1, count=3, home_tile_id=1)
+        assert all(m.tile_id == 1 for m in granted)
+
+    def test_spills_to_other_tiles(self):
+        cluster = make_cluster(tiles=2, molecules=4)
+        granted = cluster.ulmo.allocate(asid=1, count=6, home_tile_id=0)
+        assert len(granted) == 6
+        assert {m.tile_id for m in granted} == {0, 1}
+        # home tile fully used first
+        assert sum(1 for m in granted if m.tile_id == 0) == 4
+
+    def test_partial_grant_and_shortfall_stat(self):
+        cluster = make_cluster(tiles=2, molecules=2)
+        granted = cluster.ulmo.allocate(asid=1, count=10, home_tile_id=0)
+        assert len(granted) == 4
+        assert cluster.ulmo.stats.allocation_shortfalls == 1
+        assert cluster.ulmo.stats.allocations == 4
+
+    def test_exhausted_cluster_grants_nothing(self):
+        cluster = make_cluster(tiles=1, molecules=2)
+        cluster.ulmo.allocate(asid=1, count=2, home_tile_id=0)
+        assert cluster.ulmo.allocate(asid=2, count=1, home_tile_id=0) == []
+
+
+class TestUlmoSearch:
+    def _region_spanning(self, cluster: TileCluster) -> CacheRegion:
+        region = CacheRegion(asid=1, goal=None, home_tile_id=0)
+        for molecule in cluster.ulmo.allocate(1, 6, home_tile_id=0):
+            region.add_molecule(molecule, None)
+        return region
+
+    def test_remote_probe_cost_stops_at_found_tile(self):
+        cluster = make_cluster(tiles=3, molecules=4)
+        region = self._region_spanning(cluster)  # 4 in tile 0, 2 in tile 1
+        assert region.molecules_by_tile == {0: 4, 1: 2}
+        assert cluster.ulmo.remote_probe_cost(region, found_tile=1) == 2
+
+    def test_remote_probe_cost_global_miss_probes_all_remote(self):
+        cluster = make_cluster(tiles=3, molecules=4)
+        region = CacheRegion(asid=1, goal=None, home_tile_id=0)
+        for molecule in cluster.ulmo.allocate(1, 10, home_tile_id=0):
+            region.add_molecule(molecule, None)
+        # 4 in tile 0 (home), 4 in tile 1, 2 in tile 2
+        assert cluster.ulmo.remote_probe_cost(region, found_tile=None) == 6
+
+    def test_home_only_region_has_no_remote_cost(self):
+        cluster = make_cluster(tiles=2, molecules=4)
+        region = CacheRegion(asid=1, goal=None, home_tile_id=0)
+        for molecule in cluster.ulmo.allocate(1, 2, home_tile_id=0):
+            region.add_molecule(molecule, None)
+        assert cluster.ulmo.remote_probe_cost(region, None) == 0

@@ -1,0 +1,148 @@
+"""Tests for the MESI coherence layer (the paper's Cache Coherency Unit)."""
+
+import pytest
+
+from repro.caches.coherence import CoherentL1, MESIState, SnoopingBus
+from repro.caches.setassoc import SetAssociativeCache
+from repro.common.errors import ConfigError
+
+
+def make_bus(cores=2, l2_size=1 << 20):
+    return SnoopingBus(
+        cores,
+        SetAssociativeCache(l2_size, 4),
+        l1_size_bytes=4096,
+        l1_associativity=2,
+    )
+
+
+class TestStateMachine:
+    def test_cold_read_loads_exclusive(self):
+        bus = make_bus()
+        assert not bus.read(0, 5)
+        assert bus.l1s[0].state_of(5) is MESIState.EXCLUSIVE
+
+    def test_second_reader_makes_both_shared(self):
+        bus = make_bus()
+        bus.read(0, 5)
+        bus.read(1, 5)
+        assert bus.l1s[0].state_of(5) is MESIState.SHARED
+        assert bus.l1s[1].state_of(5) is MESIState.SHARED
+
+    def test_write_miss_loads_modified(self):
+        bus = make_bus()
+        assert not bus.write(0, 5)
+        assert bus.l1s[0].state_of(5) is MESIState.MODIFIED
+
+    def test_silent_e_to_m_upgrade(self):
+        bus = make_bus()
+        bus.read(0, 5)
+        before = bus.stats.bus_transactions
+        assert bus.write(0, 5)
+        assert bus.l1s[0].state_of(5) is MESIState.MODIFIED
+        assert bus.stats.bus_transactions == before  # no bus traffic
+
+    def test_write_to_shared_upgrades_and_invalidates(self):
+        bus = make_bus()
+        bus.read(0, 5)
+        bus.read(1, 5)
+        assert bus.write(0, 5)
+        assert bus.l1s[0].state_of(5) is MESIState.MODIFIED
+        assert bus.l1s[1].state_of(5) is MESIState.INVALID
+        assert bus.stats.bus_upgrades == 1
+        assert bus.stats.invalidations_received == 1
+
+    def test_read_of_modified_line_intervenes(self):
+        bus = make_bus()
+        bus.write(0, 5)
+        bus.read(1, 5)
+        assert bus.l1s[0].state_of(5) is MESIState.SHARED
+        assert bus.l1s[1].state_of(5) is MESIState.SHARED
+        assert bus.stats.interventions == 1
+        assert bus.stats.writebacks == 1
+
+    def test_write_invalidates_modified_elsewhere(self):
+        bus = make_bus()
+        bus.write(0, 5)
+        bus.write(1, 5)
+        assert bus.l1s[0].state_of(5) is MESIState.INVALID
+        assert bus.l1s[1].state_of(5) is MESIState.MODIFIED
+        assert bus.stats.writebacks == 1
+
+
+class TestHitMissAccounting:
+    def test_read_hit_states(self):
+        bus = make_bus()
+        bus.read(0, 5)
+        assert bus.read(0, 5)
+        assert bus.stats.read_hits == 1
+        assert bus.stats.read_misses == 1
+
+    def test_shared_level_sees_only_misses(self):
+        bus = make_bus()
+        for _ in range(5):
+            bus.read(0, 5)
+        assert bus.shared.stats.total.accesses == 1
+
+    def test_access_dispatch(self):
+        bus = make_bus()
+        bus.access(0, 5, write=True)
+        assert bus.l1s[0].state_of(5) is MESIState.MODIFIED
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            SnoopingBus(0, SetAssociativeCache(1024, 1))
+
+
+class TestEvictionInteraction:
+    def test_l1_eviction_drops_state(self):
+        bus = make_bus()
+        l1 = bus.l1s[0]
+        sets = l1.cache.num_sets
+        # three blocks aliasing into the same 2-way set
+        bus.read(0, 0)
+        bus.read(0, sets)
+        bus.read(0, 2 * sets)
+        held = [b for b in (0, sets, 2 * sets) if l1.holds(b)]
+        assert len(held) == 2  # one got evicted, state dropped with it
+        assert len(l1.states) == l1.cache.occupancy()
+
+
+class TestMolecularBelowCoherence:
+    def test_composes_with_molecular_shared_level(self):
+        from repro.molecular import MolecularCache, MolecularCacheConfig, ResizePolicy
+
+        config = MolecularCacheConfig(
+            molecule_bytes=1024, molecules_per_tile=4, tiles_per_cluster=2,
+            clusters=1, strict=False,
+        )
+        l2 = MolecularCache(config, resize_policy=ResizePolicy(period=10**9))
+        l2.assign_application(7, goal=None, initial_molecules=2)
+        bus = SnoopingBus(
+            2, l2, l1_size_bytes=1024, l1_associativity=2,
+            asid_of_core={0: 7, 1: 7},
+        )
+        bus.read(0, 5)
+        bus.read(1, 5)
+        bus.write(0, 5)
+        bus.check_invariants()
+        assert l2.stats.total.accesses >= 1
+
+
+class TestInvariantsUnderRandomTraffic:
+    def test_swmr_holds(self):
+        import random
+
+        rng = random.Random(9)
+        bus = make_bus(cores=4)
+        for _ in range(3000):
+            core = rng.randrange(4)
+            block = rng.randrange(64)
+            bus.access(core, block, write=rng.random() < 0.3)
+            if _ % 100 == 0:
+                bus.check_invariants()
+        bus.check_invariants()
+        # states never reference blocks absent from the data array
+        for l1 in bus.l1s:
+            resident = set(l1.cache.resident_blocks())
+            assert set(l1.states) <= resident

@@ -1,0 +1,103 @@
+"""Tests for miss-curve model fitting."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.fit import FAR_BLOCKS, model_from_miss_curve, model_from_trace
+from repro.workloads.model import BenchmarkModel, RingComponent
+
+
+class TestFromCurve:
+    def test_single_point_all_hits(self):
+        model = model_from_miss_curve({1000: 0.0})
+        # one hot ring covering the capacity; negligible floor
+        assert model.components[0].blocks == 1000
+        assert model.expected_miss_rate(1000) < 0.01
+
+    def test_floor_becomes_far_ring(self):
+        model = model_from_miss_curve({1000: 0.2})
+        far = model.components[-1]
+        assert far.blocks == FAR_BLOCKS
+        assert far.weight == pytest.approx(0.2, rel=0.01)
+
+    def test_steps_become_rings(self):
+        curve = {1000: 0.5, 4000: 0.3, 16000: 0.05}
+        model = model_from_miss_curve(curve)
+        # rings nest: sizes are the capacity increments
+        sizes = [c.blocks for c in model.components]
+        assert sizes[:3] == [1000, 3000, 12000]
+        # reproduces the curve analytically
+        for capacity, rate in curve.items():
+            assert model.expected_miss_rate(capacity) == pytest.approx(rate, abs=0.03)
+
+    def test_rejects_increasing_curve(self):
+        with pytest.raises(ConfigError):
+            model_from_miss_curve({1000: 0.1, 2000: 0.5})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            model_from_miss_curve({})
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ConfigError):
+            model_from_miss_curve({1000: 1.5})
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigError):
+            model_from_miss_curve({0: 0.5})
+
+
+class TestRoundTrip:
+    def test_fit_of_generated_trace_matches_measured_curve(self):
+        """model -> trace -> fitted model reproduces the *measured* curve.
+
+        (The measured curve includes the trace's cold misses, which the
+        fit folds into the capacity-insensitive floor — so the comparison
+        target is the measurement, not the original model's analytic
+        steady-state curve.)"""
+        from repro.trace.analyze import profile_trace
+
+        original = BenchmarkModel(
+            name="orig",
+            components=(
+                RingComponent(weight=0.70, blocks=800, run_length=4),
+                RingComponent(weight=0.25, blocks=10_000, run_length=2),
+                RingComponent(weight=0.05, blocks=FAR_BLOCKS),
+            ),
+        )
+        trace = original.generate(60_000, seed=9)
+        capacities = (1024, 4096, 16384)
+        measured = profile_trace(trace, curve_capacities=capacities).miss_curve
+        fitted = model_from_trace(trace, capacities=capacities, name="refit")
+        assert fitted.name == "refit"
+        for capacity in capacities:
+            assert fitted.expected_miss_rate(capacity) == pytest.approx(
+                measured[capacity], abs=0.05
+            )
+
+    def test_fitted_model_generates_similar_trace(self):
+        """The fitted model's own trace has a similar measured miss curve."""
+        from repro.analysis.reuse import miss_curve
+
+        original = BenchmarkModel(
+            name="orig",
+            components=(
+                RingComponent(weight=0.8, blocks=500, run_length=8),
+                RingComponent(weight=0.2, blocks=8_000, run_length=8),
+            ),
+        )
+        trace = original.generate(40_000, seed=4)
+        fitted = model_from_trace(trace, capacities=(1024, 4096, 16384))
+        refit_trace = fitted.generate(40_000, seed=5)
+        original_curve = miss_curve(trace.blocks().tolist(), (4096,))
+        refit_curve = miss_curve(refit_trace.blocks().tolist(), (4096,))
+        assert refit_curve[4096] == pytest.approx(original_curve[4096], abs=0.08)
+
+    def test_run_length_carried_over(self):
+        original = BenchmarkModel(
+            name="stream",
+            components=(RingComponent(weight=1.0, blocks=6_000, run_length=16),),
+        )
+        trace = original.generate(30_000, seed=2)
+        fitted = model_from_trace(trace)
+        assert all(c.run_length >= 8 for c in fitted.components[:1])

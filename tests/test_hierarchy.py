@@ -1,0 +1,78 @@
+"""Unit tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.caches.setassoc import SetAssociativeCache
+from repro.common.errors import ConfigError
+
+
+def make_hierarchy(cores=2, l1_size=1024, l2_size=8192):
+    return CacheHierarchy(
+        l1_factory=lambda: SetAssociativeCache(l1_size, 2, 64),
+        l2=SetAssociativeCache(l2_size, 4, 64),
+        cores=cores,
+    )
+
+
+class TestRouting:
+    def test_default_asid_to_core_mapping(self):
+        h = make_hierarchy(cores=2)
+        assert h.core_for(0) == 0
+        assert h.core_for(1) == 1
+        assert h.core_for(2) == 0
+
+    def test_explicit_mapping(self):
+        h = CacheHierarchy(
+            l1_factory=lambda: SetAssociativeCache(1024, 2, 64),
+            l2=SetAssociativeCache(8192, 4, 64),
+            cores=2,
+            asid_to_core={7: 1},
+        )
+        assert h.core_for(7) == 1
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            make_hierarchy(cores=0)
+
+
+class TestFiltering:
+    def test_l1_hit_never_reaches_l2(self):
+        h = make_hierarchy()
+        h.access_block(5, asid=0)
+        before = h.l2_accesses
+        result = h.access_block(5, asid=0)
+        assert result.hit
+        assert h.l2_accesses == before
+
+    def test_l1_miss_goes_to_l2(self):
+        h = make_hierarchy()
+        h.access_block(5, asid=0)
+        assert h.l2_accesses == 1
+
+    def test_l2_hit_after_remote_core_fill(self):
+        # Core 0 brings a block into the shared L2; core 1's L1 misses but
+        # the L2 hits.
+        h = make_hierarchy()
+        h.access_block(5, asid=0)
+        result = h.access_block(5, asid=1)
+        assert result.hit
+        assert result.extra.get("l1_miss")
+
+    def test_private_l1s_do_not_share(self):
+        h = make_hierarchy()
+        h.access_block(5, asid=0)
+        assert h.l1s[1].stats.total.accesses == 0
+
+    def test_run_helper(self):
+        h = make_hierarchy()
+        h.run([1, 1, 2], [0, 0, 1])
+        assert h.l1s[0].stats.total.accesses == 2
+        assert h.l2_accesses == 2
+
+    def test_l1_miss_rate_filtering_effect(self):
+        h = make_hierarchy()
+        for _ in range(10):
+            h.access_block(3, asid=0)
+        assert h.l1s[0].stats.miss_rate() == pytest.approx(0.1)
+        assert h.l2.stats.total.accesses == 1

@@ -1,0 +1,94 @@
+"""Unit tests for trace interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.trace.container import Trace
+from repro.trace.interleave import interleave_random, interleave_round_robin
+
+
+def make_trace(asid: int, n: int) -> Trace:
+    return Trace(np.arange(n) * 64 + (asid << 30), asids=asid)
+
+
+class TestRoundRobin:
+    def test_alternates_sources(self):
+        merged = interleave_round_robin([make_trace(0, 4), make_trace(1, 4)])
+        assert merged.asids.tolist() == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_quantum(self):
+        merged = interleave_round_robin(
+            [make_trace(0, 4), make_trace(1, 4)], quantum=2
+        )
+        assert merged.asids.tolist() == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_preserves_per_source_order(self):
+        a, b = make_trace(0, 6), make_trace(1, 6)
+        merged = interleave_round_robin([a, b], quantum=3)
+        ours = merged.addresses[merged.asids == 0]
+        assert ours.tolist() == a.addresses.tolist()
+
+    def test_truncates_to_shortest(self):
+        merged = interleave_round_robin([make_trace(0, 10), make_trace(1, 4)])
+        # 4 full rounds of 1+1
+        assert len(merged) == 8
+
+    def test_drain_consumes_everything(self):
+        merged = interleave_round_robin(
+            [make_trace(0, 10), make_trace(1, 4)], drain=True
+        )
+        assert len(merged) == 14
+        assert (merged.asids == 0).sum() == 10
+
+    def test_rejects_empty_source(self):
+        with pytest.raises(ConfigError):
+            interleave_round_robin([make_trace(0, 4), Trace([])])
+
+    def test_rejects_no_sources(self):
+        with pytest.raises(ConfigError):
+            interleave_round_robin([])
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ConfigError):
+            interleave_round_robin([make_trace(0, 4)], quantum=0)
+
+    def test_quantum_longer_than_shortest_rejected(self):
+        with pytest.raises(ConfigError):
+            interleave_round_robin([make_trace(0, 2)], quantum=3)
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        sources = [make_trace(0, 100), make_trace(1, 100)]
+        a = interleave_random(sources, seed=3)
+        b = interleave_random(sources, seed=3)
+        assert a == b
+
+    def test_preserves_per_source_order(self):
+        sources = [make_trace(0, 200), make_trace(1, 200)]
+        merged = interleave_random(sources, seed=1)
+        ours = merged.addresses[merged.asids == 0]
+        assert ours.tolist() == sources[0].addresses[: len(ours)].tolist()
+
+    def test_weights_shift_mix(self):
+        sources = [make_trace(0, 3000), make_trace(1, 3000)]
+        merged = interleave_random(sources, weights=[9, 1], seed=2)
+        share0 = (merged.asids == 0).sum() / len(merged)
+        assert share0 > 0.75
+
+    def test_stops_before_any_source_overruns(self):
+        sources = [make_trace(0, 10), make_trace(1, 1000)]
+        merged = interleave_random(sources, seed=4)
+        assert (merged.asids == 0).sum() <= 10
+        assert (merged.asids == 1).sum() <= 1000
+
+    def test_rejects_weight_count_mismatch(self):
+        with pytest.raises(ConfigError):
+            interleave_random([make_trace(0, 4)], weights=[1, 2])
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ConfigError):
+            interleave_random(
+                [make_trace(0, 4), make_trace(1, 4)], weights=[1, 0]
+            )

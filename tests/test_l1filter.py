@@ -1,0 +1,45 @@
+"""Unit tests for the L1 miss filter."""
+
+import numpy as np
+
+from repro.trace.container import Trace
+from repro.trace.l1filter import L1Filter, filter_through_l1
+
+
+class TestL1Filter:
+    def test_repeated_block_filtered(self):
+        trace = Trace([0, 0, 0, 64, 64])
+        filtered = L1Filter(size_bytes=1024, associativity=2).filter(trace)
+        # first touch of each block misses; repeats hit in L1
+        assert filtered.addresses.tolist() == [0, 64]
+
+    def test_capacity_misses_pass_through(self):
+        # 1 KB 1-way L1 = 16 lines; a 32-block loop never fits
+        blocks = list(range(32)) * 3
+        trace = Trace(np.array(blocks) * 64)
+        filtered = L1Filter(size_bytes=1024, associativity=1).filter(trace)
+        assert len(filtered) == len(trace)  # every access misses
+
+    def test_separate_l1_per_asid(self):
+        # Two apps touching the same block each miss once (private L1s).
+        trace = Trace([0, 0], asids=[1, 2])
+        filtered = L1Filter(size_bytes=1024, associativity=2).filter(trace)
+        assert len(filtered) == 2
+
+    def test_miss_rate_reporting(self):
+        trace = Trace([0] * 10)
+        f = L1Filter(size_bytes=1024, associativity=2)
+        f.filter(trace)
+        assert f.miss_rate(0) == 0.1
+        assert f.miss_rate() == 0.1
+        assert f.miss_rate(99) == 0.0
+
+    def test_write_flags_preserved(self):
+        trace = Trace([0, 64], writes=[True, False])
+        filtered = filter_through_l1(trace, size_bytes=1024, associativity=2)
+        assert filtered.writes.tolist() == [True, False]
+
+    def test_filtered_trace_keeps_asids(self):
+        trace = Trace([0, 64, 128], asids=[4, 4, 4])
+        filtered = filter_through_l1(trace)
+        assert set(filtered.asids.tolist()) == {4}

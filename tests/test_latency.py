@@ -1,0 +1,80 @@
+"""Tests for the access-latency accounting."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import AccessResult
+from repro.molecular.latency import LatencyModel, LatencyParameters
+from tests.conftest import make_cache
+
+
+class TestModel:
+    def test_local_hit(self):
+        model = LatencyModel(LatencyParameters(
+            asid_compare_cycles=1, molecule_access_cycles=2,
+            ulmo_dispatch_cycles=2, tile_hop_cycles=4, memory_cycles=200,
+        ))
+        assert model.cycles(AccessResult(hit=True)) == 3
+        assert model.local_hit_cycles() == 3
+
+    def test_remote_hit_serialises_tiles(self):
+        model = LatencyModel()
+        result = AccessResult(hit=True, molecules_probed_remote=4)
+        result.extra["remote_tiles_searched"] = 2
+        p = model.params
+        expected = (
+            p.asid_compare_cycles + p.molecule_access_cycles
+            + p.ulmo_dispatch_cycles
+            + 2 * (p.tile_hop_cycles + p.molecule_access_cycles)
+        )
+        assert model.cycles(result) == expected
+
+    def test_miss_adds_memory(self):
+        model = LatencyModel()
+        local_hit = model.cycles(AccessResult(hit=True))
+        miss = model.cycles(AccessResult(hit=False))
+        assert miss == local_hit + model.params.memory_cycles
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ConfigError):
+            LatencyParameters(memory_cycles=-1)
+
+
+class TestCacheIntegration:
+    def test_latency_accumulates(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.assign_application(0, initial_molecules=2)
+        cache.access_block(5, 0)   # miss
+        cache.access_block(5, 0)   # local hit
+        model = cache.latency_model
+        expected = (
+            model.cycles(AccessResult(hit=False))
+            + model.cycles(AccessResult(hit=True))
+        )
+        assert cache.stats.latency_cycles == expected
+        assert cache.stats.mean_latency_cycles() == pytest.approx(expected / 2)
+
+    def test_remote_tiles_recorded_in_result(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.assign_application(0, tile_id=0, initial_molecules=6)  # spans 2 tiles
+        result = cache.access_block(12345, 0)  # global miss searches tile 1
+        assert result.extra.get("remote_tiles_searched") == 1
+
+    def test_local_hit_has_no_remote_tiles(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.assign_application(0, tile_id=0, initial_molecules=2)
+        cache.access_block(5, 0)
+        result = cache.access_block(5, 0)
+        assert "remote_tiles_searched" not in result.extra
+
+    def test_remote_hit_latency_exceeds_local(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.assign_application(0, tile_id=0, initial_molecules=6)
+        region = cache.regions[0]
+        remote = next(m for m in region.molecules() if m.tile_id == 1)
+        region.install(7, remote, 0, write=False)
+        baseline = cache.stats.latency_cycles
+        result = cache.access_block(7, 0)
+        assert result.hit
+        spent = cache.stats.latency_cycles - baseline
+        assert spent > cache.latency_model.local_hit_cycles()

@@ -1,0 +1,70 @@
+"""Tests for the deviation and HPM metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    DeviationMode,
+    average_deviation,
+    deviations,
+    hits_per_molecule,
+)
+from repro.common.errors import ConfigError
+
+
+class TestDeviationModes:
+    def test_absolute_counts_both_sides(self):
+        assert DeviationMode.ABSOLUTE.score(0.05, 0.10) == pytest.approx(0.05)
+        assert DeviationMode.ABSOLUTE.score(0.15, 0.10) == pytest.approx(0.05)
+
+    def test_excess_only_ignores_below_goal(self):
+        assert DeviationMode.EXCESS_ONLY.score(0.05, 0.10) == 0.0
+        assert DeviationMode.EXCESS_ONLY.score(0.30, 0.10) == pytest.approx(0.20)
+
+
+class TestDeviations:
+    def test_per_app_values(self):
+        result = deviations({0: 0.2, 1: 0.05}, {0: 0.1, 1: 0.1})
+        assert result == {0: pytest.approx(0.1), 1: pytest.approx(0.05)}
+
+    def test_unmanaged_excluded(self):
+        result = deviations({0: 0.2, 1: 0.9}, {0: 0.1, 1: None})
+        assert set(result) == {0}
+
+    def test_missing_miss_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            deviations({}, {0: 0.1})
+
+    def test_bad_goal_rejected(self):
+        with pytest.raises(ConfigError):
+            deviations({0: 0.2}, {0: 1.5})
+
+
+class TestAverageDeviation:
+    def test_mean_over_managed(self):
+        value = average_deviation({0: 0.2, 1: 0.0, 2: 0.5}, {0: 0.1, 1: 0.1, 2: None})
+        assert value == pytest.approx((0.1 + 0.1) / 2)
+
+    def test_all_unmanaged_rejected(self):
+        with pytest.raises(ConfigError):
+            average_deviation({0: 0.2}, {0: None})
+
+    def test_mode_changes_value(self):
+        rates, goals = {0: 0.05}, {0: 0.10}
+        assert average_deviation(rates, goals, DeviationMode.ABSOLUTE) > 0
+        assert average_deviation(rates, goals, DeviationMode.EXCESS_ONLY) == 0
+
+
+class TestHPM:
+    def test_basic(self):
+        assert hits_per_molecule(0.9, 30.0) == pytest.approx(0.03)
+
+    def test_zero_molecules(self):
+        assert hits_per_molecule(0.9, 0.0) == 0.0
+
+    def test_rejects_bad_hit_rate(self):
+        with pytest.raises(ConfigError):
+            hits_per_molecule(1.1, 10)
+
+    def test_rejects_negative_molecules(self):
+        with pytest.raises(ConfigError):
+            hits_per_molecule(0.5, -1)

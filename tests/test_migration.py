@@ -1,0 +1,79 @@
+"""Tests for context-switch tile migration (paper section 3, Figure 2)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from tests.conftest import make_cache
+
+
+class TestMigration:
+    def test_rehomes_region(self, tiny_config):
+        cache = make_cache(tiny_config)
+        region = cache.assign_application(0, tile_id=0, initial_molecules=2)
+        cache.migrate_application(0, 1)
+        assert region.home_tile_id == 1
+
+    def test_old_data_reachable_via_ulmo(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.assign_application(0, tile_id=0, initial_molecules=2)
+        cache.access_block(5, 0)
+        cache.migrate_application(0, 1)
+        result = cache.access_block(5, 0)
+        assert result.hit
+        # the line still lives on tile 0: a remote hit from tile 1
+        assert result.molecules_probed_remote > 0
+
+    def test_search_order_updated(self, tiny_config):
+        cache = make_cache(tiny_config)
+        region = cache.assign_application(0, tile_id=0, initial_molecules=6)
+        assert region.contributing_tiles()[0] == 0
+        cache.migrate_application(0, 1)
+        assert region.contributing_tiles()[0] == 1
+
+    def test_new_growth_prefers_new_home(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.assign_application(0, tile_id=0, initial_molecules=1)
+        cache.migrate_application(0, 1)
+        cluster = cache.clusters[0]
+        granted = cluster.ulmo.allocate(0, 2, cache.regions[0].home_tile_id)
+        assert all(m.tile_id == 1 for m in granted)
+
+    def test_unknown_asid_rejected(self, tiny_config):
+        cache = make_cache(tiny_config)
+        from repro.common.errors import UnknownASIDError
+
+        with pytest.raises(UnknownASIDError):
+            cache.migrate_application(9, 0)
+
+    def test_unknown_tile_rejected(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.assign_application(0, tile_id=0)
+        with pytest.raises(ConfigError):
+            cache.migrate_application(0, 99)
+
+    def test_cross_cluster_rejected(self):
+        from repro.molecular import MolecularCacheConfig
+
+        config = MolecularCacheConfig(
+            molecule_bytes=1024, molecules_per_tile=2, tiles_per_cluster=2,
+            clusters=2, strict=False,
+        )
+        cache = make_cache(config)
+        cache.assign_application(0, tile_id=0)
+        with pytest.raises(ConfigError):
+            cache.migrate_application(0, 2)  # tile 2 is in cluster 1
+
+    def test_shared_region_not_migratable(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.create_shared_region(0, 1)
+        cache.assign_shared_application(3, 0)
+        with pytest.raises(ConfigError):
+            cache.migrate_application(3, 1)
+
+    def test_probe_accounting_after_migration(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.assign_application(0, tile_id=0, initial_molecules=2)
+        cache.migrate_application(0, 1)
+        result = cache.access_block(77, 0)  # miss; region has no tile-1 mols
+        assert result.molecules_probed_local == 0
+        assert result.molecules_probed_remote == 2

@@ -1,0 +1,119 @@
+"""Unit tests for the Molecule building block."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.molecular.molecule import FREE, Molecule
+
+
+def make_molecule(n_lines=16) -> Molecule:
+    return Molecule(molecule_id=0, tile_id=0, cluster_id=0, n_lines=n_lines)
+
+
+class TestConfiguration:
+    def test_starts_free(self):
+        assert make_molecule().is_free
+
+    def test_configure_claims(self):
+        m = make_molecule()
+        m.configure(asid=3)
+        assert not m.is_free
+        assert m.asid == 3
+
+    def test_double_configure_rejected(self):
+        m = make_molecule()
+        m.configure(asid=3)
+        with pytest.raises(SimulationError):
+            m.configure(asid=4)
+
+    def test_negative_asid_rejected_unless_shared(self):
+        m = make_molecule()
+        with pytest.raises(ConfigError):
+            m.configure(asid=-5)
+
+    def test_shared_configuration(self):
+        m = make_molecule()
+        m.configure(asid=-2, shared=True)
+        assert m.shared
+        assert not m.is_free
+
+    def test_release_flushes_and_frees(self):
+        m = make_molecule()
+        m.configure(asid=1)
+        m.fill(5, dirty=True)
+        flushed = m.release()
+        assert flushed == [(5, True)]
+        assert m.is_free
+        assert m.occupancy() == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            Molecule(0, 0, 0, n_lines=10)
+        with pytest.raises(ConfigError):
+            Molecule(0, 0, 0, n_lines=1)
+
+
+class TestDirectMappedArray:
+    def test_index_of(self):
+        m = make_molecule(n_lines=16)
+        assert m.index_of(0) == 0
+        assert m.index_of(16) == 0
+        assert m.index_of(21) == 5
+
+    def test_probe_miss_then_hit(self):
+        m = make_molecule()
+        assert not m.probe(5)
+        m.fill(5)
+        assert m.probe(5)
+
+    def test_aliasing_blocks_conflict(self):
+        m = make_molecule(n_lines=16)
+        m.fill(3)
+        evicted = m.fill(19)  # 19 % 16 == 3
+        assert evicted == (3, False)
+        assert not m.probe(3)
+        assert m.probe(19)
+
+    def test_refill_same_block_not_eviction(self):
+        m = make_molecule()
+        m.fill(3)
+        assert m.fill(3) is None
+
+    def test_dirty_bit_lifecycle(self):
+        m = make_molecule(n_lines=16)
+        m.fill(3)
+        m.mark_dirty(3)
+        assert m.fill(19) == (3, True)
+
+    def test_mark_dirty_requires_residency(self):
+        m = make_molecule()
+        with pytest.raises(SimulationError):
+            m.mark_dirty(3)
+
+    def test_invalidate(self):
+        m = make_molecule()
+        m.fill(3, dirty=True)
+        assert m.invalidate(3) is True  # was dirty
+        assert not m.probe(3)
+        assert m.invalidate(3) is False  # already gone
+
+    def test_flush_returns_all_lines(self):
+        m = make_molecule(n_lines=16)
+        m.fill(1)
+        m.fill(2, dirty=True)
+        flushed = dict(m.flush())
+        assert flushed == {1: False, 2: True}
+        assert m.occupancy() == 0
+
+    def test_resident_blocks_and_occupancy(self):
+        m = make_molecule(n_lines=16)
+        for block in (1, 2, 3):
+            m.fill(block)
+        assert sorted(m.resident_blocks()) == [1, 2, 3]
+        assert m.occupancy() == 3
+
+    def test_fill_counter(self):
+        m = make_molecule()
+        m.fill(1)
+        m.fill(2)
+        assert m.fills == 2

@@ -1,0 +1,167 @@
+"""Unit tests for the placement policies (Random / Randy / LRU-Direct)."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.rng import XorShift64
+from repro.molecular.molecule import Molecule
+from repro.molecular.placement import (
+    LRUDirectPlacement,
+    RandomPlacement,
+    RandyPlacement,
+    make_placement_policy,
+)
+from repro.molecular.region import CacheRegion
+
+LINES = 16
+
+
+def make_molecule(mid, tile=0):
+    m = Molecule(mid, tile, 0, LINES)
+    m.configure(asid=1)
+    return m
+
+
+def region_with(policy, molecules=4):
+    region = CacheRegion(asid=1, goal=0.1, home_tile_id=0)
+    for index in range(molecules):
+        region.add_molecule(make_molecule(index), policy.initial_row_index(region))
+    return region
+
+
+class TestFactory:
+    def test_builds_each(self):
+        assert make_placement_policy("random").name == "random"
+        assert make_placement_policy("RANDY").name == "randy"
+        assert make_placement_policy("lru_direct").name == "lru_direct"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_placement_policy("fifo")
+
+
+class TestRandom:
+    def test_initial_view_is_single_row(self):
+        region = region_with(RandomPlacement())
+        assert region.row_max == 1
+        assert len(region.rows[0]) == 4
+
+    def test_choose_any_molecule_row_zero(self):
+        policy = RandomPlacement()
+        region = region_with(policy)
+        rng = XorShift64(1)
+        chosen = {policy.choose(region, b, LINES, rng)[0].molecule_id for b in range(200)}
+        assert len(chosen) == 4  # all molecules get picked
+        rows = {policy.choose(region, b, LINES, rng)[1] for b in range(20)}
+        assert rows == {0}
+
+    def test_choose_empty_region_rejected(self):
+        policy = RandomPlacement()
+        region = CacheRegion(asid=1, goal=None, home_tile_id=0)
+        with pytest.raises(SimulationError):
+            policy.choose(region, 0, LINES, XorShift64(1))
+
+    def test_add_row_keeps_single_row(self):
+        policy = RandomPlacement()
+        region = region_with(policy)
+        assert policy.add_row_index(region) == 0
+
+    def test_withdraw_prefers_fewest_replacement_misses(self):
+        policy = RandomPlacement()
+        region = region_with(policy)
+        for molecule in region.rows[0]:
+            molecule.replacement_misses = 5
+        region.rows[0][2].replacement_misses = 1
+        assert policy.choose_withdrawal(region).molecule_id == 2
+
+    def test_reset_counters(self):
+        policy = RandomPlacement()
+        region = region_with(policy)
+        region.rows[0][0].replacement_misses = 9
+        region.row_misses[0] = 4
+        policy.reset_counters(region)
+        assert region.rows[0][0].replacement_misses == 0
+        assert region.row_misses == [0]
+
+
+class TestRandy:
+    def test_initial_view_is_rows_of_one(self):
+        region = region_with(RandyPlacement())
+        assert region.row_max == 4
+        assert all(len(row) == 1 for row in region.rows)
+
+    def test_choose_follows_row_formula(self):
+        policy = RandyPlacement()
+        region = region_with(policy)
+        rng = XorShift64(1)
+        for block in range(0, 4 * LINES, LINES):
+            molecule, row = policy.choose(region, block, LINES, rng)
+            assert row == (block // LINES) % region.row_max
+            assert molecule in region.rows[row]
+
+    def test_add_row_targets_hot_pressure(self):
+        policy = RandyPlacement()
+        region = region_with(policy)
+        region.row_misses = [0, 10, 3, 0]
+        assert policy.add_row_index(region) == 1
+
+    def test_add_row_spreads_within_grant(self):
+        # After adding a molecule to the hottest row, misses-per-molecule
+        # halves and the next pick moves on.
+        policy = RandyPlacement()
+        region = region_with(policy)
+        region.row_misses = [0, 10, 6, 0]
+        first = policy.add_row_index(region)
+        assert first == 1
+        region.add_molecule(make_molecule(10), first)
+        assert policy.add_row_index(region) == 2
+
+    def test_withdraw_prefers_cold_rows_with_spare_assoc(self):
+        policy = RandyPlacement()
+        region = region_with(policy)
+        region.add_molecule(make_molecule(9), 2)  # row 2 has 2 molecules
+        region.row_misses = [0, 5, 1, 7]
+        victim = policy.choose_withdrawal(region)
+        # row 0 is coldest but has a single molecule; row 2 has spare
+        # associativity and is nearly as cold.
+        assert victim in region.rows[2]
+
+    def test_withdraw_takes_last_molecule_as_last_resort(self):
+        policy = RandyPlacement()
+        region = region_with(policy, molecules=2)
+        region.row_misses = [1, 9]
+        victim = policy.choose_withdrawal(region)
+        assert victim in region.rows[0]
+
+
+class TestLRUDirect:
+    def test_prefers_empty_slot(self):
+        policy = LRUDirectPlacement()
+        region = region_with(policy, molecules=2)
+        region.add_molecule(make_molecule(10), 0)  # row 0: 2 molecules
+        first = region.rows[0][0]
+        region.install(0, first, 0, write=False)
+        chosen, row = policy.choose(region, 0, LINES, XorShift64(1))
+        assert row == 0
+        assert chosen is region.rows[0][1]  # empty slot preferred
+
+    def test_evicts_least_recently_touched(self):
+        policy = LRUDirectPlacement()
+        region = region_with(policy, molecules=1)
+        region.add_molecule(make_molecule(10), 0)
+        a, b = region.rows[0]
+        # blocks 0 and 4*LINES both map to row 0, index 0
+        alias = 4 * LINES
+        region.install(0, a, 0, write=False)
+        region.install(alias, b, 0, write=False)
+        policy.on_hit(region, 0)  # touch a's occupant most recently... then b older
+        chosen, _ = policy.choose(region, 8 * LINES, LINES, XorShift64(1))
+        assert chosen is b  # b's occupant was never touched
+
+    def test_on_hit_clock_advances(self):
+        policy = LRUDirectPlacement()
+        region = region_with(policy, molecules=1)
+        policy.on_hit(region, 1)
+        policy.on_hit(region, 2)
+        touches = policy._touches(region)
+        assert touches[2] > touches[1]

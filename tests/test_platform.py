@@ -1,0 +1,144 @@
+"""Tests for the full-platform simulation (coherent cores + shared L2)."""
+
+import numpy as np
+import pytest
+
+from repro.caches.setassoc import SetAssociativeCache
+from repro.common.errors import ConfigError
+from repro.molecular import MolecularCache, MolecularCacheConfig, ResizePolicy
+from repro.sim.platform import CMPPlatform, PlatformConfig
+from repro.trace.container import Trace
+
+
+def loop_trace(blocks: int, refs: int, base: int = 0) -> Trace:
+    return Trace(((np.arange(refs) % blocks) + base) * 64)
+
+
+def stream_trace(refs: int, base: int = 0) -> Trace:
+    return Trace((np.arange(refs) + base) * 64)
+
+
+def traditional_platform(cores=2, l2_kb=256, **config_kwargs):
+    return CMPPlatform(
+        cores,
+        SetAssociativeCache(l2_kb * 1024, 4),
+        PlatformConfig(l1_size_bytes=2048, l1_associativity=2, **config_kwargs),
+    )
+
+
+class TestValidation:
+    def test_rejects_empty_traces(self):
+        platform = traditional_platform()
+        with pytest.raises(ConfigError):
+            platform.run({})
+        with pytest.raises(ConfigError):
+            platform.run({0: Trace([])})
+
+    def test_rejects_unknown_core(self):
+        platform = traditional_platform(cores=2)
+        with pytest.raises(ConfigError):
+            platform.run({5: loop_trace(4, 10)})
+
+    def test_rejects_bad_cycles(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(l1_hit_cycles=0)
+
+
+class TestTiming:
+    def test_l1_resident_loop_runs_at_l1_speed(self):
+        platform = traditional_platform()
+        result = platform.run({0: loop_trace(8, 4000)})
+        report = result.cores[0]
+        assert report.l1_hit_rate > 0.99
+        # ~2 cycles per reference plus the 8 cold fills
+        assert report.cycles / report.references < 3.0
+
+    def test_streaming_core_far_slower(self):
+        platform = traditional_platform()
+        result = platform.run({0: stream_trace(3000)})
+        report = result.cores[0]
+        assert report.l1_hit_rate == 0.0
+        # every access pays L1 + L2 + memory
+        assert report.cycles / report.references > 100
+
+    def test_throughput_ordering(self):
+        platform = traditional_platform(cores=2)
+        result = platform.run(
+            {0: loop_trace(8, 30_000), 1: stream_trace(30_000, base=1 << 20)}
+        )
+        assert result.throughput(0) > 20 * result.throughput(1)
+
+    def test_l2_hit_cheaper_than_memory(self):
+        # Working set fits L2 but not L1: misses cost L1+L2 but not memory.
+        platform = traditional_platform()
+        result = platform.run({0: loop_trace(512, 40_000)})
+        report = result.cores[0]
+        mean = report.cycles / report.references
+        assert mean < 20  # far below the 200-cycle memory penalty
+
+    def test_warmup_resets_reports(self):
+        platform = traditional_platform(warmup_refs=1000)
+        result = platform.run({0: loop_trace(8, 5000)})
+        assert result.cores[0].references == 4000
+
+
+class TestCoherentSharing:
+    def test_shared_data_stays_coherent(self):
+        platform = traditional_platform(cores=2)
+        shared_block = Trace([0] * 2000)
+        platform.run({0: shared_block, 1: shared_block})
+        platform.bus.check_invariants()
+        # both cores mostly hit their L1 copies (shared state)
+        assert platform.bus.stats.read_hits > 3000
+
+    def test_write_sharing_generates_invalidations(self):
+        platform = traditional_platform(cores=2)
+        writes = Trace([0] * 1000, writes=True)
+        platform.run({0: writes, 1: writes})
+        assert platform.bus.stats.invalidations_received > 100
+        platform.bus.check_invariants()
+
+
+class TestMolecularL2:
+    def _molecular_platform(self, cores=2):
+        config = MolecularCacheConfig(
+            molecule_bytes=8 * 1024,
+            molecules_per_tile=32,
+            tiles_per_cluster=4,
+            clusters=1,
+        )
+        l2 = MolecularCache(config, resize_policy=ResizePolicy())
+        for core in range(cores):
+            l2.assign_application(core, goal=0.15, tile_id=core)
+        return CMPPlatform(
+            cores, l2, PlatformConfig(l1_size_bytes=2048, l1_associativity=2)
+        )
+
+    def test_runs_end_to_end(self):
+        platform = self._molecular_platform()
+        result = platform.run(
+            {
+                0: loop_trace(512, 20_000),
+                1: loop_trace(512, 20_000, base=1 << 20),
+            }
+        )
+        assert result.cores[0].references > 0
+        assert result.end_cycle > 0
+        platform.bus.check_invariants()
+        platform.shared.resizer.check_consistency()
+
+    def test_molecular_latency_charged(self):
+        platform = self._molecular_platform()
+        result = platform.run({0: loop_trace(512, 20_000)})
+        report = result.cores[0]
+        mean = report.cycles / report.references
+        # L2-resident loop: more than the raw L1 cost, far below memory
+        assert 2.0 < mean < 30
+
+    def test_partitions_isolate_cores(self):
+        platform = self._molecular_platform()
+        same_blocks = loop_trace(256, 10_000)
+        platform.run({0: same_blocks, 1: same_blocks})
+        l2 = platform.shared
+        # identical addresses, but each region holds its own copy
+        assert l2.regions[0].presence.keys() & l2.regions[1].presence.keys()

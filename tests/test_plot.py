@@ -1,0 +1,54 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            ["1MB", "2MB"], {"lru": [0.4, 0.2], "mol": [0.5, 0.1]}
+        )
+        assert "*" in chart and "o" in chart
+        assert "*=lru" in chart and "o=mol" in chart
+        assert "1MB" in chart and "2MB" in chart
+
+    def test_title_first_line(self):
+        chart = ascii_chart(["a"], {"s": [1.0]}, title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_extremes_at_top_and_bottom(self):
+        chart = ascii_chart(["lo", "hi"], {"s": [0.0, 1.0]}, height=5)
+        lines = chart.splitlines()
+        # highest value appears on the first plot row, lowest on the last
+        assert "*" in lines[0]
+        assert "*" in lines[4]
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart(["a", "b"], {"s": [0.5, 0.5]})
+        plot_rows = [l for l in chart.splitlines() if "|" in l]
+        assert sum(row.count("*") for row in plot_rows) == 2
+
+    def test_height_rows(self):
+        chart = ascii_chart(["a"], {"s": [1.0]}, height=7)
+        plot_rows = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_rows) == 7
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ConfigError):
+            ascii_chart(["a"], {})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            ascii_chart(["a", "b"], {"s": [1.0]})
+
+    def test_rejects_tiny_height(self):
+        with pytest.raises(ConfigError):
+            ascii_chart(["a"], {"s": [1.0]}, height=2)
+
+    def test_rejects_too_many_series(self):
+        series = {f"s{i}": [0.1] for i in range(9)}
+        with pytest.raises(ConfigError):
+            ascii_chart(["a"], series)

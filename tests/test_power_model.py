@@ -1,0 +1,108 @@
+"""Tests for the CACTI-like analytical power/timing model."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.power.model import CacheOrganization, CactiModel
+from repro.power.tables import PAPER_TABLE4_TRADITIONAL
+
+
+@pytest.fixture(scope="module")
+def model() -> CactiModel:
+    return CactiModel()
+
+
+class TestOrganizationValidation:
+    def test_sets(self):
+        org = CacheOrganization(8 << 20, 4, 64)
+        assert org.sets == (8 << 20) // (64 * 4)
+
+    def test_rejects_non_power_size(self):
+        with pytest.raises(ConfigError):
+            CacheOrganization(3000)
+
+    def test_rejects_cache_smaller_than_set(self):
+        with pytest.raises(ConfigError):
+            CacheOrganization(64, associativity=4, line_bytes=64)
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ConfigError):
+            CacheOrganization(1024, ports=0)
+
+
+class TestScalingLaws:
+    def test_energy_grows_with_size(self, model):
+        energies = [
+            model.energy_nj(CacheOrganization(size, 4, 64, 4))
+            for size in (1 << 20, 2 << 20, 4 << 20, 8 << 20)
+        ]
+        assert energies == sorted(energies)
+
+    def test_energy_grows_with_associativity(self, model):
+        energies = [
+            model.energy_nj(CacheOrganization(8 << 20, a, 64, 4))
+            for a in (1, 2, 4, 8)
+        ]
+        assert energies == sorted(energies)
+
+    def test_energy_grows_with_ports(self, model):
+        one = model.energy_nj(CacheOrganization(1 << 20, 4, 64, 1))
+        four = model.energy_nj(CacheOrganization(1 << 20, 4, 64, 4))
+        assert four > one * 2
+
+    def test_eight_way_frequency_collapse(self, model):
+        """The paper's Table 4: 8-way runs at ~half the frequency."""
+        t4 = model.access_time_ns(CacheOrganization(8 << 20, 4, 64, 4))
+        t8 = model.access_time_ns(CacheOrganization(8 << 20, 8, 64, 4))
+        assert t8 > 1.6 * t4
+
+    def test_molecule_is_cheap(self, model):
+        """Small caches are an order of magnitude cheaper per access —
+        the premise of the molecular design."""
+        molecule = model.molecule_energy_nj(8 * 1024)
+        big = model.energy_nj(CacheOrganization(8 << 20, 1, 64, 4))
+        assert molecule < big / 20
+
+    def test_molecule_is_fast(self, model):
+        molecule_t = model.access_time_ns(CacheOrganization(8 * 1024, 1, 64, 1))
+        big_t = model.access_time_ns(CacheOrganization(8 << 20, 1, 64, 4))
+        assert molecule_t < big_t / 2
+
+
+class TestCalibration:
+    """The fitted model must stay within tolerance of its calibration
+    targets (the paper's Table 4)."""
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4, 8])
+    def test_frequency_within_15_percent(self, model, assoc):
+        paper_freq, _ = PAPER_TABLE4_TRADITIONAL[assoc]
+        ours = model.evaluate(CacheOrganization(8 << 20, assoc, 64, 4)).frequency_mhz
+        assert abs(ours - paper_freq) / paper_freq < 0.15
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4, 8])
+    def test_power_within_30_percent(self, model, assoc):
+        paper_freq, paper_power = PAPER_TABLE4_TRADITIONAL[assoc]
+        evaluation = model.evaluate(CacheOrganization(8 << 20, assoc, 64, 4))
+        ours = evaluation.power_watts()
+        assert abs(ours - paper_power) / paper_power < 0.30
+
+    def test_molecule_energy_near_paper_implied_value(self, model):
+        # 26.6 nJ per 64-molecule tile -> ~0.42 nJ per molecule.
+        assert model.molecule_energy_nj(8 * 1024) == pytest.approx(0.42, abs=0.1)
+
+
+class TestEvaluation:
+    def test_power_at_explicit_frequency(self, model):
+        evaluation = model.evaluate(CacheOrganization(1 << 20, 1, 64, 1))
+        assert evaluation.power_watts(100.0) == pytest.approx(
+            evaluation.energy_nj * 1e-9 * 100e6
+        )
+
+    def test_deterministic(self, model):
+        org = CacheOrganization(2 << 20, 2, 64, 2)
+        assert model.evaluate(org) == model.evaluate(org)
+
+    def test_tiny_structure_fallback(self, model):
+        evaluation = model.evaluate(CacheOrganization(512, 1, 64, 1))
+        assert evaluation.energy_nj > 0
+        assert evaluation.access_time_ns > 0

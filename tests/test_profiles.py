@@ -1,0 +1,44 @@
+"""Tests for profile-driven initial allocation (paper section 3.4)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.molecular.cache import ALLOCATION_PROFILES
+from tests.conftest import make_cache
+
+
+class TestAllocationProfiles:
+    def test_profile_table(self):
+        assert ALLOCATION_PROFILES["small"] < ALLOCATION_PROFILES["typical"]
+        assert ALLOCATION_PROFILES["typical"] < ALLOCATION_PROFILES["large"]
+
+    def test_small_profile(self, small_config):
+        cache = make_cache(small_config)  # 16 molecules/tile
+        region = cache.assign_application(0, profile="small")
+        assert region.molecule_count == 2  # 16 * 0.125
+
+    def test_typical_profile_matches_default(self, small_config):
+        cache = make_cache(small_config)
+        typical = cache.assign_application(0, profile="typical")
+        default = cache.assign_application(1)
+        assert typical.molecule_count == default.molecule_count == 8
+
+    def test_large_profile_takes_whole_tile(self, small_config):
+        cache = make_cache(small_config)
+        region = cache.assign_application(0, profile="large")
+        assert region.molecule_count == 16
+
+    def test_explicit_count_overrides_profile(self, small_config):
+        cache = make_cache(small_config)
+        region = cache.assign_application(0, profile="large", initial_molecules=3)
+        assert region.molecule_count == 3
+
+    def test_unknown_profile_rejected(self, small_config):
+        cache = make_cache(small_config)
+        with pytest.raises(ConfigError):
+            cache.assign_application(0, profile="enormous")
+
+    def test_profile_minimum_one_molecule(self, tiny_config):
+        cache = make_cache(tiny_config)  # 4 molecules/tile
+        region = cache.assign_application(0, profile="small")  # 4*0.125 -> 0 -> 1
+        assert region.molecule_count == 1

@@ -1,0 +1,94 @@
+"""Property-based tests for the MESI bus against a reference model.
+
+The reference: with working sets small enough that L1s never evict, a
+core's access hits iff the core has touched the block before and no other
+core has *written* it since the core's last touch. Any MESI implementation
+must agree with this, access by access.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.coherence import MESIState, SnoopingBus
+from repro.caches.setassoc import SetAssociativeCache
+
+# 8 blocks over a 64-line L1: no capacity/conflict evictions possible.
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # core
+        st.integers(min_value=0, max_value=7),  # block
+        st.booleans(),  # write?
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+class ReferenceModel:
+    """Hit/miss oracle under the no-eviction assumption."""
+
+    def __init__(self, cores: int) -> None:
+        self.valid = [set() for _ in range(cores)]
+
+    def access(self, core: int, block: int, write: bool) -> bool:
+        hit = block in self.valid[core]
+        if write:
+            for other, valid in enumerate(self.valid):
+                if other != core:
+                    valid.discard(block)
+        self.valid[core].add(block)
+        return hit
+
+
+def build_bus() -> SnoopingBus:
+    return SnoopingBus(
+        3,
+        SetAssociativeCache(1 << 20, 4),
+        l1_size_bytes=4096,  # 64 lines >> 8 blocks
+        l1_associativity=4,
+    )
+
+
+class TestAgainstReference:
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_hit_miss_matches_reference(self, ops):
+        bus = build_bus()
+        reference = ReferenceModel(3)
+        for core, block, write in ops:
+            expected = reference.access(core, block, write)
+            actual = bus.access(core, block, write)
+            assert actual == expected, (core, block, write)
+
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_swmr_invariant_throughout(self, ops):
+        bus = build_bus()
+        for core, block, write in ops:
+            bus.access(core, block, write)
+            bus.check_invariants()
+
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_writer_always_ends_modified(self, ops):
+        bus = build_bus()
+        for core, block, write in ops:
+            bus.access(core, block, write)
+            if write:
+                assert bus.l1s[core].state_of(block) is MESIState.MODIFIED
+
+    @given(ops=operations)
+    @settings(max_examples=40, deadline=None)
+    def test_states_match_validity_sets(self, ops):
+        bus = build_bus()
+        reference = ReferenceModel(3)
+        for core, block, write in ops:
+            reference.access(core, block, write)
+            bus.access(core, block, write)
+        for core in range(3):
+            held = {
+                block
+                for block, state in bus.l1s[core].states.items()
+                if state is not MESIState.INVALID
+            }
+            assert held == reference.valid[core]

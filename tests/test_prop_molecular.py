@@ -1,0 +1,134 @@
+"""Property-based tests for molecular-cache invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import XorShift64
+from repro.molecular.cache import MolecularCache
+from repro.molecular.config import MolecularCacheConfig, ResizePolicy
+
+
+def build_cache(placement: str, resize_period=400) -> MolecularCache:
+    config = MolecularCacheConfig(
+        molecule_bytes=1024,
+        molecules_per_tile=8,
+        tiles_per_cluster=2,
+        clusters=1,
+        strict=False,
+    )
+    return MolecularCache(
+        config,
+        resize_policy=ResizePolicy(
+            period=resize_period,
+            trigger="global_adaptive",
+            min_window_refs=16,
+            period_floor=100,
+        ),
+        placement=placement,
+        rng=XorShift64(11),
+    )
+
+
+def assert_invariants(cache: MolecularCache) -> None:
+    cache.resizer.check_consistency()
+    for region in cache.regions.values():
+        # presence map == brute-force probe, both directions
+        for block, molecule in region.presence.items():
+            assert molecule.probe(block)
+        brute = {}
+        for molecule in region.molecules():
+            for block in molecule.resident_blocks():
+                brute[block] = molecule
+        assert brute == dict(region.presence)
+        # replacement view structure
+        assert all(row for row in region.rows)
+        assert len(region.row_misses) == len(region.rows)
+        # every molecule is owned by this region's asid
+        for molecule in region.molecules():
+            assert molecule.asid == region.asid
+    # no molecule is in two regions, and free accounting matches
+    seen = set()
+    owned = 0
+    for region in cache.regions.values():
+        for molecule in region.molecules():
+            assert molecule.molecule_id not in seen
+            seen.add(molecule.molecule_id)
+            owned += 1
+    assert cache.free_molecules() == cache.config.total_molecules - owned
+
+
+streams = st.lists(st.integers(min_value=0, max_value=300), min_size=20, max_size=600)
+
+
+class TestMolecularInvariants:
+    @given(stream=streams, placement=st.sampled_from(["random", "randy", "lru_direct"]))
+    @settings(max_examples=25, deadline=None)
+    def test_single_app_invariants_hold_under_traffic(self, stream, placement):
+        cache = build_cache(placement)
+        cache.assign_application(0, goal=0.3, initial_molecules=4)
+        for block in stream:
+            cache.access_block(block, 0)
+        assert_invariants(cache)
+
+    @given(stream=streams, placement=st.sampled_from(["random", "randy"]))
+    @settings(max_examples=25, deadline=None)
+    def test_two_apps_fully_isolated(self, stream, placement):
+        cache = build_cache(placement)
+        cache.assign_application(0, goal=0.3, initial_molecules=3, tile_id=0)
+        cache.assign_application(1, goal=0.3, initial_molecules=3, tile_id=1)
+        for block in stream:
+            cache.access_block(block, 0)
+            cache.access_block(block, 1)
+        assert_invariants(cache)
+        # identical streams but private regions: block sets disjoint per
+        # molecule ownership
+        r0, r1 = cache.regions[0], cache.regions[1]
+        for molecule in r0.molecules():
+            assert molecule.asid == 0
+        for molecule in r1.molecules():
+            assert molecule.asid == 1
+
+    @given(stream=streams)
+    @settings(max_examples=25, deadline=None)
+    def test_resident_block_hits(self, stream):
+        cache = build_cache("randy")
+        cache.assign_application(0, goal=None, initial_molecules=4)
+        seen = set()
+        for block in stream:
+            result = cache.access_block(block, 0)
+            if block in seen and cache.regions[0].lookup(block) is not None:
+                pass  # may have been evicted between touches
+            seen.add(block)
+            # immediately after an access the block must be resident
+            assert cache.regions[0].lookup(block) is not None
+            assert cache.access_block(block, 0).hit
+
+    @given(
+        stream=streams,
+        multiplier=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_variable_line_size_invariants(self, stream, multiplier):
+        cache = build_cache("randy")
+        cache.assign_application(
+            0, goal=None, initial_molecules=4, line_multiplier=multiplier
+        )
+        for block in stream:
+            cache.access_block(block, 0)
+            # whole aligned unit resident in one molecule
+            base = block - block % multiplier
+            region = cache.regions[0]
+            home = region.lookup(block)
+            for offset in range(multiplier):
+                assert region.lookup(base + offset) is home
+        assert_invariants(cache)
+
+    @given(stream=streams)
+    @settings(max_examples=15, deadline=None)
+    def test_probe_counts_bounded_by_region_size(self, stream):
+        cache = build_cache("randy")
+        cache.assign_application(0, goal=0.2, initial_molecules=4)
+        for block in stream:
+            before = cache.regions[0].molecule_count
+            result = cache.access_block(block, 0)
+            assert result.molecules_probed <= before

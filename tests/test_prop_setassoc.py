@@ -1,0 +1,90 @@
+"""Property-based tests for the set-associative cache (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.setassoc import SetAssociativeCache
+
+block_streams = st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=400)
+
+
+class TestInvariants:
+    @given(stream=block_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, stream):
+        cache = SetAssociativeCache(2048, 2, 64)
+        for block in stream:
+            cache.access_block(block)
+        assert cache.occupancy() <= 32
+
+    @given(stream=block_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, stream):
+        cache = SetAssociativeCache(2048, 2, 64)
+        hits = sum(cache.access_block(b).hit for b in stream)
+        assert cache.stats.total.accesses == len(stream)
+        assert cache.stats.total.hits == hits
+
+    @given(stream=block_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_resident_block_always_hits_next(self, stream):
+        cache = SetAssociativeCache(2048, 2, 64)
+        for block in stream:
+            cache.access_block(block)
+            assert cache.contains_block(block)
+            assert cache.access_block(block).hit
+
+    @given(stream=block_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_set_index_discipline(self, stream):
+        """Every resident block lives in exactly the set its index selects."""
+        cache = SetAssociativeCache(2048, 2, 64)
+        for block in stream:
+            cache.access_block(block)
+        for set_index, cache_set in enumerate(cache._sets):
+            for block in cache_set:
+                assert block & cache._set_mask == set_index
+
+    @given(stream=block_streams, policy=st.sampled_from(["lru", "fifo", "random"]))
+    @settings(max_examples=50, deadline=None)
+    def test_all_policies_preserve_accounting(self, stream, policy):
+        cache = SetAssociativeCache(1024, 4, 64, policy)
+        for block in stream:
+            cache.access_block(block)
+        stats = cache.stats.total
+        assert stats.accesses == len(stream)
+        assert stats.misses == stats.evictions + cache.occupancy()
+
+    @given(stream=block_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_lru_inclusion_property(self, stream):
+        """A fully-associative LRU cache of size 2N contains everything a
+        size-N one does (stack inclusion)."""
+        small = SetAssociativeCache(1024, 16, 64)  # fully assoc, 16 lines
+        large = SetAssociativeCache(2048, 32, 64)  # fully assoc, 32 lines
+        for block in stream:
+            small.access_block(block)
+            large.access_block(block)
+        assert set(small.resident_blocks()) <= set(large.resident_blocks())
+
+    @given(
+        stream=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_writeback_only_for_dirty_lines(self, stream):
+        """Writebacks never exceed the number of write accesses."""
+        cache = SetAssociativeCache(1024, 1, 64)
+        writes = 0
+        writebacks = 0
+        for block, write in stream:
+            writes += write
+            result = cache.access_block(block, write=write)
+            writebacks += result.writeback
+        assert writebacks <= writes

@@ -1,0 +1,95 @@
+"""Property-based tests for workload generation and the power model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.model import CacheOrganization, CactiModel
+from repro.workloads.model import APP_SPACE_BYTES, BenchmarkModel, RingComponent
+
+components = st.lists(
+    st.builds(
+        RingComponent,
+        weight=st.floats(min_value=0.05, max_value=1.0),
+        blocks=st.integers(min_value=1, max_value=5000),
+        run_length=st.integers(min_value=1, max_value=32),
+        drift=st.booleans(),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+models = st.builds(
+    BenchmarkModel,
+    name=st.just("prop"),
+    components=components.map(tuple),
+    phases=st.integers(min_value=1, max_value=3),
+    write_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestWorkloadProperties:
+    @given(model=models, seed=st.integers(min_value=0, max_value=2**16),
+           asid=st.integers(min_value=0, max_value=15))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_stays_in_app_space_and_aligned(self, model, seed, asid):
+        trace = model.generate(500, seed=seed, asid=asid)
+        assert len(trace) == 500
+        assert (trace.addresses >= asid * APP_SPACE_BYTES).all()
+        assert (trace.addresses < (asid + 1) * APP_SPACE_BYTES).all()
+        assert (trace.addresses % 64 == 0).all()
+        assert set(trace.asids.tolist()) == {asid}
+
+    @given(model=models, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_generation_deterministic(self, model, seed):
+        assert model.generate(300, seed=seed) == model.generate(300, seed=seed)
+
+    @given(model=models)
+    @settings(max_examples=40, deadline=None)
+    def test_footprint_bound(self, model):
+        trace = model.generate(2000, seed=1)
+        assert trace.footprint_blocks() <= model.footprint_blocks()
+
+    @given(model=models, c1=st.integers(min_value=0, max_value=4000),
+           c2=st.integers(min_value=0, max_value=4000))
+    @settings(max_examples=40, deadline=None)
+    def test_expected_miss_rate_monotone(self, model, c1, c2):
+        lo, hi = sorted((c1, c2))
+        assert model.expected_miss_rate(hi) <= model.expected_miss_rate(lo) + 1e-9
+        assert 0.0 <= model.expected_miss_rate(lo) <= 1.0
+
+
+org_sizes = st.sampled_from([8 << 10, 64 << 10, 1 << 20, 8 << 20])
+org_assocs = st.sampled_from([1, 2, 4, 8])
+org_ports = st.integers(min_value=1, max_value=4)
+
+
+class TestPowerModelProperties:
+    @given(size=org_sizes, assoc=org_assocs, ports=org_ports)
+    @settings(max_examples=60, deadline=None)
+    def test_outputs_positive(self, size, assoc, ports):
+        if size < 64 * assoc:
+            return
+        model = CactiModel()
+        evaluation = model.evaluate(CacheOrganization(size, assoc, 64, ports))
+        assert evaluation.energy_nj > 0
+        assert evaluation.access_time_ns > 0
+        assert evaluation.frequency_mhz > 0
+
+    @given(assoc=org_assocs, ports=org_ports)
+    @settings(max_examples=40, deadline=None)
+    def test_energy_monotone_in_size(self, assoc, ports):
+        model = CactiModel()
+        energies = [
+            model.energy_nj(CacheOrganization(size, assoc, 64, ports))
+            for size in (64 << 10, 1 << 20, 8 << 20)
+        ]
+        assert energies[0] <= energies[1] <= energies[2]
+
+    @given(size=st.sampled_from([1 << 20, 8 << 20]), assoc=org_assocs)
+    @settings(max_examples=30, deadline=None)
+    def test_ports_increase_energy(self, size, assoc):
+        model = CactiModel()
+        one = model.energy_nj(CacheOrganization(size, assoc, 64, 1))
+        two = model.energy_nj(CacheOrganization(size, assoc, 64, 2))
+        assert two > one

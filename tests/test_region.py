@@ -1,0 +1,202 @@
+"""Unit tests for cache regions and the replacement view."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.molecular.molecule import Molecule
+from repro.molecular.region import CacheRegion
+
+
+def make_molecule(mid=0, tile=0, lines=16) -> Molecule:
+    m = Molecule(mid, tile, 0, lines)
+    m.configure(asid=1)
+    return m
+
+
+def make_region(molecules=4, rows_of_one=True, lines=16, **kwargs) -> CacheRegion:
+    defaults = dict(asid=1, goal=0.1, home_tile_id=0)
+    defaults.update(kwargs)
+    region = CacheRegion(**defaults)
+    for index in range(molecules):
+        region.add_molecule(
+            make_molecule(index, lines=lines), None if rows_of_one else (0 if index else None)
+        )
+    return region
+
+
+class TestValidation:
+    def test_rejects_bad_goal(self):
+        with pytest.raises(ConfigError):
+            CacheRegion(asid=1, goal=1.5, home_tile_id=0)
+
+    def test_rejects_bad_line_multiplier(self):
+        with pytest.raises(ConfigError):
+            CacheRegion(asid=1, goal=None, home_tile_id=0, line_multiplier=3)
+
+    def test_rejects_foreign_molecule(self):
+        region = CacheRegion(asid=1, goal=None, home_tile_id=0)
+        foreign = Molecule(0, 0, 0, 16)
+        foreign.configure(asid=2)
+        with pytest.raises(SimulationError):
+            region.add_molecule(foreign, None)
+
+
+class TestReplacementView:
+    def test_rows_of_one(self):
+        region = make_region(4)
+        assert region.row_max == 4
+        assert region.molecule_count == 4
+        assert [len(r) for r in region.rows] == [1, 1, 1, 1]
+
+    def test_single_row(self):
+        region = make_region(4, rows_of_one=False)
+        assert region.row_max == 1
+        assert len(region.rows[0]) == 4
+
+    def test_row_of_formula(self):
+        region = make_region(4, lines=16)
+        # row = (block // lines_per_molecule) % row_max
+        assert region.row_of(0, 16) == 0
+        assert region.row_of(16, 16) == 1
+        assert region.row_of(64, 16) == 0
+
+    def test_row_of_empty_region_rejected(self):
+        region = CacheRegion(asid=1, goal=None, home_tile_id=0)
+        with pytest.raises(SimulationError):
+            region.row_of(0, 16)
+
+    def test_add_to_specific_row(self):
+        region = make_region(2)
+        extra = make_molecule(9)
+        region.add_molecule(extra, 1)
+        assert len(region.rows[1]) == 2
+
+    def test_add_out_of_range_row_rejected(self):
+        region = make_region(2)
+        with pytest.raises(SimulationError):
+            region.add_molecule(make_molecule(9), 5)
+
+    def test_detach_shrinks_view(self):
+        region = make_region(3)
+        victim = region.rows[1][0]
+        region.detach_molecule(victim)
+        assert region.row_max == 2
+        assert region.molecule_count == 2
+
+    def test_detach_unknown_rejected(self):
+        region = make_region(2)
+        with pytest.raises(SimulationError):
+            region.detach_molecule(make_molecule(42))
+
+    def test_detach_flushes_presence(self):
+        region = make_region(2)
+        molecule = region.rows[0][0]
+        region.install(0, molecule, 0, write=True)
+        flushed = region.detach_molecule(molecule)
+        assert (0, True) in flushed
+        assert region.lookup(0) is None
+
+
+class TestLookupAndInstall:
+    def test_install_then_lookup(self):
+        region = make_region(2)
+        molecule = region.rows[0][0]
+        region.install(5, molecule, 0, write=False)
+        assert region.lookup(5) is molecule
+        assert region.lookup_by_probe(5) is molecule
+
+    def test_install_eviction_updates_presence(self):
+        region = make_region(1, lines=16)
+        molecule = region.rows[0][0]
+        region.install(3, molecule, 0, write=False)
+        evicted = region.install(19, molecule, 0, write=False)  # aliases 3
+        assert (3, False) in evicted
+        assert region.lookup(3) is None
+        assert region.lookup(19) is molecule
+
+    def test_install_supersedes_copy_in_other_molecule(self):
+        region = make_region(2, lines=16)
+        first, second = region.rows[0][0], region.rows[1][0]
+        region.install(5, first, 0, write=True)
+        region.install(5, second, 1, write=False)
+        assert region.lookup(5) is second
+        assert not first.probe(5)
+
+    def test_row_miss_counters(self):
+        region = make_region(2)
+        region.install(0, region.rows[0][0], 0, write=False)
+        region.install(1, region.rows[1][0], 1, write=False)
+        region.install(2, region.rows[1][0], 1, write=False)
+        assert region.row_misses == [1, 2]
+
+    def test_contributing_tiles_home_first(self):
+        region = CacheRegion(asid=1, goal=None, home_tile_id=2)
+        region.add_molecule(make_molecule(0, tile=0), None)
+        region.add_molecule(make_molecule(1, tile=2), None)
+        region.add_molecule(make_molecule(2, tile=3), None)
+        assert region.contributing_tiles() == [2, 0, 3]
+
+    def test_contributing_tiles_cache_invalidated_on_change(self):
+        region = make_region(1)
+        assert region.contributing_tiles() == [0]
+        region.add_molecule(make_molecule(5, tile=7), None)
+        assert region.contributing_tiles() == [0, 7]
+
+
+class TestVariableLineSize:
+    def test_unit_fetch_fills_siblings(self):
+        region = make_region(1, lines=16, line_multiplier=4)
+        molecule = region.rows[0][0]
+        region.install(5, molecule, 0, write=False)
+        # the aligned group [4..7] is resident
+        for block in (4, 5, 6, 7):
+            assert region.lookup(block) is molecule
+        assert region.lookup(3) is None
+
+    def test_write_marks_only_target_dirty(self):
+        region = make_region(1, lines=16, line_multiplier=2)
+        molecule = region.rows[0][0]
+        region.install(5, molecule, 0, write=True)
+        assert molecule.dirty[molecule.index_of(5)]
+        assert not molecule.dirty[molecule.index_of(4)]
+
+    def test_unit_replacement_evicts_group(self):
+        region = make_region(1, lines=8, line_multiplier=2)
+        molecule = region.rows[0][0]
+        region.install(0, molecule, 0, write=False)  # blocks 0,1
+        evicted = region.install(8, molecule, 0, write=False)  # aliases 0,1
+        evicted_blocks = {b for b, _ in evicted}
+        assert evicted_blocks == {0, 1}
+
+
+class TestAccounting:
+    def test_record_access_window_and_total(self):
+        region = make_region(2)
+        region.record_access(hit=True)
+        region.record_access(hit=False)
+        assert region.window_accesses == 2
+        assert region.window_misses == 1
+        assert region.miss_rate == pytest.approx(0.5)
+        region.reset_window()
+        assert region.window_accesses == 0
+        assert region.total_accesses == 2
+
+    def test_window_miss_rate_empty(self):
+        assert make_region(1).window_miss_rate == 0.0
+
+    def test_mean_molecules_integral(self):
+        region = make_region(2)
+        region.record_access(hit=True)
+        region.add_molecule(make_molecule(9), 0)
+        region.record_access(hit=True)
+        assert region.mean_molecules == pytest.approx((2 + 3) / 2)
+
+    def test_hits_per_molecule(self):
+        region = make_region(2)
+        for _ in range(4):
+            region.record_access(hit=True)
+        # hit rate 1.0, mean molecules 2 -> HPM 0.5
+        assert region.hits_per_molecule() == pytest.approx(0.5)
+
+    def test_hpm_empty_region(self):
+        assert make_region(1).hits_per_molecule() == 0.0

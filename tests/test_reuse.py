@@ -1,0 +1,133 @@
+"""Tests for the Mattson stack-distance engine."""
+
+import pytest
+
+from repro.analysis.reuse import COLD, StackDistanceAnalyzer, miss_curve
+from repro.common.errors import ConfigError
+
+
+def brute_force_distance(history: list[int], block: int) -> int:
+    """Reference implementation: distinct blocks since last touch."""
+    try:
+        last = len(history) - 1 - history[::-1].index(block)
+    except ValueError:
+        return COLD
+    return len(set(history[last + 1 :]))
+
+
+class TestStackDistances:
+    def test_cold_references(self):
+        analyzer = StackDistanceAnalyzer()
+        assert analyzer.record(1) == COLD
+        assert analyzer.record(2) == COLD
+
+    def test_immediate_reuse_distance_zero(self):
+        analyzer = StackDistanceAnalyzer()
+        analyzer.record(1)
+        assert analyzer.record(1) == 0
+
+    def test_classic_sequence(self):
+        # a b c a : distance of final a is 2 (b and c in between)
+        analyzer = StackDistanceAnalyzer()
+        for block in (1, 2, 3):
+            analyzer.record(block)
+        assert analyzer.record(1) == 2
+
+    def test_duplicates_between_touches_counted_once(self):
+        # a b b b a : distance 1, not 3
+        analyzer = StackDistanceAnalyzer()
+        analyzer.record(1)
+        for _ in range(3):
+            analyzer.record(2)
+        assert analyzer.record(1) == 1
+
+    def test_matches_brute_force_on_random_stream(self):
+        import random
+
+        rng = random.Random(13)
+        stream = [rng.randrange(40) for _ in range(800)]
+        analyzer = StackDistanceAnalyzer(capacity_hint=16)  # force regrowth
+        history: list[int] = []
+        for block in stream:
+            expected = brute_force_distance(history, block)
+            assert analyzer.record(block) == expected
+            history.append(block)
+
+    def test_counters(self):
+        analyzer = StackDistanceAnalyzer()
+        analyzer.run([1, 2, 1, 3, 1])
+        assert analyzer.references == 5
+        assert analyzer.distinct_blocks == 3
+        assert analyzer.cold_fraction() == pytest.approx(3 / 5)
+        # finite distances: 1 (after 1,2) and 1 (after 1,3)
+        assert analyzer.mean_distance() == pytest.approx(1.0)
+
+    def test_capacity_hint_validated(self):
+        with pytest.raises(ConfigError):
+            StackDistanceAnalyzer(capacity_hint=0)
+
+
+class TestMissCurve:
+    def test_loop_has_sharp_knee(self):
+        # Loop over 10 blocks: fits at capacity 10, thrashes never (LRU
+        # over a cyclic scan of N blocks at capacity < N always misses).
+        stream = list(range(10)) * 50
+        curve = miss_curve(stream, capacities=(5, 10, 20))
+        assert curve[10] == pytest.approx(10 / 500)  # cold only
+        assert curve[20] == pytest.approx(10 / 500)
+        assert curve[5] == pytest.approx(1.0)  # cyclic scan thrashes LRU
+
+    def test_monotone_in_capacity(self):
+        import random
+
+        rng = random.Random(3)
+        stream = [rng.randrange(100) for _ in range(3000)]
+        curve = miss_curve(stream, capacities=(1, 2, 4, 8, 16, 32, 64, 128))
+        values = [curve[c] for c in sorted(curve)]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_simulated_lru(self):
+        """The Mattson curve equals a fully-associative LRU simulation."""
+        import random
+
+        from repro.caches.setassoc import SetAssociativeCache
+
+        rng = random.Random(7)
+        stream = [rng.randrange(60) for _ in range(4000)]
+        for capacity_lines in (16, 32):
+            cache = SetAssociativeCache(capacity_lines * 64, capacity_lines, 64)
+            for block in stream:
+                cache.access_block(block)
+            simulated = cache.stats.miss_rate()
+            analytic = miss_curve(stream, capacities=(capacity_lines,))[capacity_lines]
+            assert analytic == pytest.approx(simulated)
+
+    def test_empty_analyzer_rejected(self):
+        with pytest.raises(ConfigError):
+            StackDistanceAnalyzer().miss_curve((4,))
+
+    def test_negative_capacity_rejected(self):
+        analyzer = StackDistanceAnalyzer()
+        analyzer.record(1)
+        with pytest.raises(ConfigError):
+            analyzer.miss_curve((-1,))
+
+
+class TestModelValidation:
+    def test_ring_model_miss_curve_matches_prediction(self):
+        """The ring-mixture model's analytic expected_miss_rate agrees with
+        the measured Mattson curve for a simple two-ring model."""
+        from repro.workloads.model import BenchmarkModel, RingComponent
+
+        model = BenchmarkModel(
+            name="v",
+            components=(
+                RingComponent(weight=0.8, blocks=200, run_length=1),
+                RingComponent(weight=0.2, blocks=4_000, run_length=1),
+            ),
+        )
+        blocks = model.generate(60_000, seed=5).blocks().tolist()
+        measured = miss_curve(blocks, capacities=(300, 1000, 5000))
+        for capacity, rate in measured.items():
+            predicted = model.expected_miss_rate(capacity)
+            assert abs(rate - predicted) < 0.08, (capacity, rate, predicted)

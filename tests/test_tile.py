@@ -1,0 +1,77 @@
+"""Unit tests for tiles (molecule groups behind one port)."""
+
+import pytest
+
+from repro.common.errors import AllocationError, ConfigError
+from repro.molecular.tile import Tile
+
+
+def make_tile(molecules=4, lines=16) -> Tile:
+    return Tile(
+        tile_id=0, cluster_id=0, molecule_count=molecules, lines_per_molecule=lines
+    )
+
+
+class TestConstruction:
+    def test_molecule_ids_sequential(self):
+        tile = Tile(1, 0, 3, 16, first_molecule_id=10)
+        assert [m.molecule_id for m in tile.molecules] == [10, 11, 12]
+        assert all(m.tile_id == 1 for m in tile.molecules)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            make_tile(molecules=0)
+
+    def test_all_free_initially(self):
+        assert make_tile(4).free_count == 4
+
+
+class TestAllocation:
+    def test_take_free_configures(self):
+        tile = make_tile(4)
+        granted = tile.take_free(2, asid=9)
+        assert len(granted) == 2
+        assert all(m.asid == 9 for m in granted)
+        assert tile.free_count == 2
+        assert tile.owned_count(9) == 2
+
+    def test_take_free_partial_grant(self):
+        tile = make_tile(2)
+        assert len(tile.take_free(5, asid=1)) == 2
+        assert tile.free_count == 0
+
+    def test_take_free_zero(self):
+        assert make_tile().take_free(0, asid=1) == []
+
+    def test_take_free_negative_rejected(self):
+        with pytest.raises(AllocationError):
+            make_tile().take_free(-1, asid=1)
+
+    def test_release_returns_to_pool(self):
+        tile = make_tile(2)
+        (molecule,) = tile.take_free(1, asid=1)
+        molecule.fill(7, dirty=True)
+        flushed = tile.release(molecule)
+        assert flushed == [(7, True)]
+        assert tile.free_count == 2
+        assert tile.owned_count(1) == 0
+
+    def test_release_foreign_molecule_rejected(self):
+        tile_a, tile_b = make_tile(), Tile(1, 0, 2, 16)
+        (molecule,) = tile_b.take_free(1, asid=1)
+        with pytest.raises(AllocationError):
+            tile_a.release(molecule)
+
+    def test_shared_allocation_counted(self):
+        tile = make_tile(4)
+        tile.take_free(2, asid=-2, shared=True)
+        assert tile.shared_count == 2
+        (shared_mol,) = [m for m in tile.molecules if m.shared][:1]
+        tile.release(shared_mol)
+        assert tile.shared_count == 1
+
+    def test_occupancy_by_asid(self):
+        tile = make_tile(4)
+        tile.take_free(1, asid=1)
+        tile.take_free(2, asid=2)
+        assert tile.occupancy_by_asid() == {1: 1, 2: 2}

@@ -1,0 +1,106 @@
+"""Unit tests for the columnar Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import Access, AccessType
+from repro.trace.container import Trace
+
+
+class TestConstruction:
+    def test_scalar_broadcast(self):
+        trace = Trace([0, 64, 128], asids=5, writes=True)
+        assert len(trace) == 3
+        assert set(trace.asids.tolist()) == {5}
+        assert all(trace.writes)
+
+    def test_per_reference_columns(self):
+        trace = Trace([0, 64], asids=[1, 2], writes=[False, True])
+        assert trace.asids.tolist() == [1, 2]
+        assert trace.writes.tolist() == [False, True]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            Trace([0, 64], asids=[1])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ConfigError):
+            Trace(np.zeros((2, 2)))
+
+
+class TestAccessors:
+    def test_iteration_yields_accesses(self):
+        trace = Trace([0, 64], asids=[1, 2], writes=[False, True])
+        records = list(trace)
+        assert records == [
+            Access(0, 1, AccessType.READ),
+            Access(64, 2, AccessType.WRITE),
+        ]
+
+    def test_blocks(self):
+        trace = Trace([0, 63, 64, 129])
+        assert trace.blocks(64).tolist() == [0, 0, 1, 2]
+
+    def test_blocks_rejects_bad_line(self):
+        with pytest.raises(ConfigError):
+            Trace([0]).blocks(48)
+
+    def test_slicing_returns_trace(self):
+        trace = Trace([0, 64, 128], asids=[1, 2, 3])
+        head = trace[:2]
+        assert isinstance(head, Trace)
+        assert head.addresses.tolist() == [0, 64]
+        assert head.asids.tolist() == [1, 2]
+
+    def test_integer_index_rejected(self):
+        with pytest.raises(ConfigError):
+            Trace([0, 64])[0]
+
+    def test_unique_asids(self):
+        trace = Trace([0, 64, 128], asids=[3, 1, 3])
+        assert trace.unique_asids() == [1, 3]
+
+    def test_footprint(self):
+        trace = Trace([0, 8, 64, 64, 128])
+        assert trace.footprint_blocks(64) == 3
+
+
+class TestTransforms:
+    def test_with_asid(self):
+        trace = Trace([0, 64], asids=[1, 2])
+        relabelled = trace.with_asid(9)
+        assert set(relabelled.asids.tolist()) == {9}
+        assert trace.asids.tolist() == [1, 2]  # original untouched
+
+    def test_offset(self):
+        trace = Trace([0, 64])
+        moved = trace.offset(1 << 20)
+        assert moved.addresses.tolist() == [1 << 20, (1 << 20) + 64]
+
+    def test_concatenate(self):
+        a = Trace([0], asids=1)
+        b = Trace([64], asids=2)
+        merged = Trace.concatenate([a, b])
+        assert merged.addresses.tolist() == [0, 64]
+        assert merged.asids.tolist() == [1, 2]
+
+    def test_concatenate_empty_list(self):
+        assert len(Trace.concatenate([])) == 0
+
+    def test_from_accesses_roundtrip(self):
+        records = [Access(0, 1), Access(64, 2, AccessType.WRITE)]
+        trace = Trace.from_accesses(records)
+        assert list(trace) == records
+
+    def test_equality(self):
+        assert Trace([0, 64], asids=1) == Trace([0, 64], asids=1)
+        assert Trace([0, 64]) != Trace([0, 128])
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace([0, 64, 128], asids=[1, 2, 3], writes=[True, False, True])
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        assert Trace.load(path) == trace

@@ -1,0 +1,51 @@
+"""Unit tests for the core value types."""
+
+from repro.common.types import Access, AccessResult, AccessType
+
+
+class TestAccess:
+    def test_defaults_to_read(self):
+        access = Access(address=0x1000)
+        assert access.kind is AccessType.READ
+        assert not access.is_write
+        assert access.asid == 0
+
+    def test_write(self):
+        access = Access(0x40, asid=3, kind=AccessType.WRITE)
+        assert access.is_write
+        assert access.asid == 3
+
+    def test_frozen(self):
+        access = Access(0x40)
+        try:
+            access.address = 1  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("Access should be immutable")
+
+    def test_equality(self):
+        assert Access(1, 2) == Access(1, 2)
+        assert Access(1, 2) != Access(1, 3)
+
+
+class TestAccessResult:
+    def test_hit(self):
+        result = AccessResult(hit=True)
+        assert not result.miss
+        assert result.molecules_probed == 0
+
+    def test_miss_with_probes(self):
+        result = AccessResult(
+            hit=False, molecules_probed_local=3, molecules_probed_remote=2
+        )
+        assert result.miss
+        assert result.molecules_probed == 5
+
+    def test_eviction_metadata(self):
+        result = AccessResult(hit=False, evicted_block=99, writeback=True)
+        assert result.evicted_block == 99
+        assert result.writeback
+
+    def test_lines_filled_default(self):
+        assert AccessResult(hit=False).lines_filled == 1

@@ -1,0 +1,162 @@
+"""Unit tests for the ring-mixture workload model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.model import APP_SPACE_BYTES, BenchmarkModel, RingComponent
+
+
+def simple_model(**kwargs) -> BenchmarkModel:
+    defaults = dict(
+        name="test",
+        components=(
+            RingComponent(weight=0.8, blocks=100, run_length=4),
+            RingComponent(weight=0.2, blocks=10_000, run_length=1),
+        ),
+    )
+    defaults.update(kwargs)
+    return BenchmarkModel(**defaults)
+
+
+class TestValidation:
+    def test_rejects_empty_components(self):
+        with pytest.raises(ConfigError):
+            BenchmarkModel(name="x", components=())
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ConfigError):
+            RingComponent(weight=0.0, blocks=10)
+
+    def test_rejects_bad_ring(self):
+        with pytest.raises(ConfigError):
+            RingComponent(weight=1.0, blocks=0)
+
+    def test_rejects_bad_run_length(self):
+        with pytest.raises(ConfigError):
+            RingComponent(weight=1.0, blocks=10, run_length=0)
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(ConfigError):
+            simple_model(write_fraction=1.5)
+
+    def test_rejects_zero_refs(self):
+        with pytest.raises(ConfigError):
+            simple_model().generate(0)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        m = simple_model()
+        a = m.generate(1000, seed=5, asid=1)
+        b = m.generate(1000, seed=5, asid=1)
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        m = simple_model()
+        assert m.generate(1000, seed=1) != m.generate(1000, seed=2)
+
+    def test_length(self):
+        assert len(simple_model().generate(12_345)) == 12_345
+
+    def test_asid_labels_and_address_space(self):
+        m = simple_model()
+        trace = m.generate(100, asid=3)
+        assert set(trace.asids.tolist()) == {3}
+        assert (trace.addresses >= 3 * APP_SPACE_BYTES).all()
+        assert (trace.addresses < 4 * APP_SPACE_BYTES).all()
+
+    def test_addresses_line_aligned(self):
+        trace = simple_model().generate(500, line_bytes=64)
+        assert (trace.addresses % 64 == 0).all()
+
+    def test_footprint_bounded_by_model(self):
+        m = simple_model()
+        trace = m.generate(20_000, seed=1)
+        assert trace.footprint_blocks() <= m.footprint_blocks()
+
+    def test_hot_ring_dominates(self):
+        m = simple_model()
+        trace = m.generate(50_000, seed=1)
+        blocks = trace.blocks()
+        base = (0 * APP_SPACE_BYTES) >> 6
+        hot = ((blocks - base) < 4096).sum()  # first ring's padded range
+        assert hot / len(blocks) > 0.7
+
+    def test_write_fraction_approximate(self):
+        m = simple_model(write_fraction=0.5)
+        trace = m.generate(20_000, seed=2)
+        assert 0.45 < trace.writes.mean() < 0.55
+
+    def test_sequential_runs_present(self):
+        m = BenchmarkModel(
+            name="stream",
+            components=(RingComponent(weight=1.0, blocks=10_000, run_length=16),),
+        )
+        blocks = m.generate(10_000, seed=3).blocks()
+        deltas = np.diff(blocks)
+        assert (deltas == 1).mean() > 0.8
+
+    def test_pointer_chasing_has_no_runs(self):
+        m = BenchmarkModel(
+            name="chase",
+            components=(RingComponent(weight=1.0, blocks=50_000, run_length=1),),
+        )
+        blocks = m.generate(10_000, seed=3).blocks()
+        assert (np.diff(blocks) == 1).mean() < 0.01
+
+
+class TestPhases:
+    def test_drift_moves_working_set(self):
+        m = BenchmarkModel(
+            name="phased",
+            components=(RingComponent(weight=1.0, blocks=100, drift=True),),
+            phases=2,
+        )
+        trace = m.generate(10_000, seed=1)
+        first = set(trace.blocks()[:4000].tolist())
+        last = set(trace.blocks()[-4000:].tolist())
+        assert not (first & last)
+
+    def test_no_drift_keeps_working_set(self):
+        m = BenchmarkModel(
+            name="steady",
+            components=(RingComponent(weight=1.0, blocks=100),),
+            phases=2,
+        )
+        trace = m.generate(10_000, seed=1)
+        first = set(trace.blocks()[:4000].tolist())
+        last = set(trace.blocks()[-4000:].tolist())
+        assert first & last
+
+    def test_footprint_accounts_for_drift(self):
+        drifting = BenchmarkModel(
+            name="d",
+            components=(RingComponent(weight=1.0, blocks=100, drift=True),),
+            phases=4,
+        )
+        assert drifting.footprint_blocks() == 400
+
+
+class TestAnalysis:
+    def test_expected_miss_rate_zero_when_everything_fits(self):
+        m = simple_model()
+        assert m.expected_miss_rate(100 + 10_000) == pytest.approx(0.0)
+
+    def test_expected_miss_rate_monotone_in_capacity(self):
+        m = simple_model()
+        rates = [m.expected_miss_rate(c) for c in (0, 50, 100, 1000, 10_100)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_expected_miss_rate_full_when_empty_cache(self):
+        assert simple_model().expected_miss_rate(0) == pytest.approx(1.0)
+
+    def test_scaled_resizes_rings(self):
+        m = simple_model()
+        doubled = m.scaled(2.0)
+        assert doubled.components[0].blocks == 200
+        assert doubled.name == m.name
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            simple_model().scaled(0)
