@@ -31,6 +31,7 @@ from repro.molecular import (
 )
 from repro.power import CacheOrganization, CactiModel, MolecularEnergyModel
 from repro.sim import CMPRunConfig, CMPRunner
+from repro.telemetry import EventBus, JsonlSink, MetricsTimeline, RingBufferSink
 from repro.trace import Trace
 from repro.workloads import BenchmarkModel, RingComponent, get_model
 
@@ -46,10 +47,14 @@ __all__ = [
     "CacheHierarchy",
     "CacheOrganization",
     "CactiModel",
+    "EventBus",
+    "JsonlSink",
+    "MetricsTimeline",
     "MolecularCache",
     "MolecularCacheConfig",
     "MolecularEnergyModel",
     "ResizePolicy",
+    "RingBufferSink",
     "RingComponent",
     "SetAssociativeCache",
     "Trace",

@@ -9,7 +9,11 @@ Commands
 ``experiment {table1,table2,table4,table5,figure5,figure6}``
     Run one of the paper's experiments and print its table/series.
 ``simulate``
-    Run a workload mix on a molecular or traditional cache.
+    Run a workload mix on a molecular or traditional cache; ``--record``
+    writes a telemetry JSONL stream alongside the run.
+``inspect``
+    Replay a recorded telemetry stream: resize timeline, per-region
+    miss-rate/occupancy/HPM epochs, and a convergence summary.
 ``power``
     Evaluate a cache organization with the analytical power model.
 """
@@ -153,10 +157,34 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     else:
         cache = SetAssociativeCache(size, args.assoc)
 
+    bus = sink = None
+    if args.record:
+        if args.cache != "molecular":
+            print(
+                "warning: --record needs the molecular cache; not recording",
+                file=sys.stderr,
+            )
+        else:
+            from repro.telemetry import EventBus, JsonlSink
+
+            sink = JsonlSink(args.record)
+            bus = EventBus(
+                [sink],
+                epoch_refs=args.record_epoch,
+                sample_interval=args.record_sample,
+                remote_search_sample=args.record_remote_sample,
+            )
+
     runner = CMPRunner(
-        cache, CMPRunConfig(args.miss_penalty, warmup_refs=args.refs // 4)
+        cache,
+        CMPRunConfig(args.miss_penalty, warmup_refs=args.refs // 4),
+        telemetry=bus,
     )
-    result = runner.run(traces)
+    try:
+        result = runner.run(traces)
+    finally:
+        if bus is not None:
+            bus.close()
     print(f"{args.cache} cache, {args.size}, {len(names)} applications:")
     for asid, name in enumerate(names):
         print(f"  {name:10s} miss rate {result.miss_rate(asid):.3f}")
@@ -171,6 +199,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
               f"{cache.stats.mean_molecules_probed():.1f}")
         print(f"  mean access latency (cycles): "
               f"{cache.stats.mean_latency_cycles():.1f}")
+    if sink is not None:
+        print(
+            f"  telemetry: {sink.count} events -> {sink.path} "
+            f"(replay with `python -m repro inspect {sink.path}`)"
+        )
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.telemetry.replay import load_report
+
+    report = load_report(args.events)
+    print(report.format(max_rows=args.max_rows))
     return 0
 
 
@@ -232,6 +273,25 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--refs", type=int, default=200_000)
     simulate.add_argument("--seed", type=int, default=1)
     simulate.add_argument("--miss-penalty", type=float, default=10.0)
+    simulate.add_argument("--record", metavar="PATH", default=None,
+                          help="record telemetry events to a JSONL file "
+                               "(molecular cache only)")
+    simulate.add_argument("--record-epoch", type=int, default=5_000,
+                          help="accesses per telemetry metrics epoch")
+    simulate.add_argument("--record-sample", type=int, default=0,
+                          help="emit every Nth access as an AccessSampled "
+                               "event (0 = off)")
+    simulate.add_argument("--record-remote-sample", type=int, default=100,
+                          help="emit every Nth RemoteSearch event "
+                               "(1 = all; epoch aggregates are unaffected)")
+
+    inspect = sub.add_parser(
+        "inspect", help="replay a recorded telemetry JSONL stream"
+    )
+    inspect.add_argument("events", help="JSONL file written by --record")
+    inspect.add_argument("--max-rows", type=int, default=40,
+                         help="cap rows per table (use a large value for "
+                              "the full timeline)")
 
     power = sub.add_parser("power", help="evaluate a cache organization")
     power.add_argument("--size", default="8MB")
@@ -247,6 +307,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "experiment": cmd_experiment,
     "simulate": cmd_simulate,
+    "inspect": cmd_inspect,
     "power": cmd_power,
 }
 
@@ -262,6 +323,13 @@ def main(argv: list[str] | None = None) -> int:
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout was closed early (e.g. `repro inspect ... | head`).
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

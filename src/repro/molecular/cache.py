@@ -36,6 +36,7 @@ from repro.molecular.region import CacheRegion
 from repro.molecular.resize import Resizer
 from repro.molecular.stats import MolecularStats
 from repro.molecular.tile import Tile
+from repro.telemetry.events import RunMeta
 
 #: ASID sentinel owning shared-bit regions.
 SHARED_ASID = -2
@@ -115,6 +116,48 @@ class MolecularCache:
         self._next_tile_assignment = 0
         self.resizer = Resizer(self, self.resize_policy)
         self._line_shift = (self.config.line_bytes - 1).bit_length()
+        #: Attached telemetry bus, or None. The access loop's only
+        #: telemetry cost when disabled is the ``is None`` check on this.
+        self.telemetry = None
+
+    # ----------------------------------------------------------- telemetry
+
+    def attach_telemetry(self, bus):
+        """Attach an event bus and emit the stream's ``RunMeta`` header.
+
+        Re-attaching the same bus is a no-op, so drivers can wire
+        telemetry without caring whether the caller already did.
+        """
+        if bus is self.telemetry:
+            return bus
+        self.telemetry = bus
+        bus.bind_cache(self)
+        bus.emit(
+            RunMeta(
+                total_bytes=self.config.total_bytes,
+                clusters=len(self.clusters),
+                tiles=len(self._tiles),
+                molecules_per_tile=self.config.molecules_per_tile,
+                lines_per_molecule=self.config.lines_per_molecule,
+                regions={
+                    asid: {
+                        "goal": region.goal,
+                        "home_tile": region.home_tile_id,
+                        "molecules": region.molecule_count,
+                        "line_multiplier": region.line_multiplier,
+                    }
+                    for asid, region in sorted(self.regions.items())
+                },
+            )
+        )
+        return bus
+
+    def detach_telemetry(self):
+        """Detach and return the current bus (None when not attached)."""
+        bus, self.telemetry = self.telemetry, None
+        if bus is not None:
+            bus.bind_cache(None)
+        return bus
 
     # ------------------------------------------------------------ topology
 
@@ -356,6 +399,9 @@ class MolecularCache:
             result.extra["remote_tiles_searched"] = remote_tiles
         stats.latency_cycles += self.latency_model.cycles(result)
         self.resizer.on_access(stats.total.accesses, region, block)
+        bus = self.telemetry
+        if bus is not None:
+            bus.record_access(asid, block, write, result, remote_tiles)
         return result
 
     def _remote_search(

@@ -178,6 +178,18 @@ class CacheRegion:
         hit_rate = 1.0 - self.miss_rate
         return hit_rate / self.mean_molecules
 
+    def occupancy_fraction(self) -> float:
+        """Fraction of the region's line slots holding valid data.
+
+        Walks every molecule, so this is meant for epoch-boundary
+        telemetry snapshots and diagnostics, not the per-access path.
+        """
+        capacity = used = 0
+        for molecule in self.molecules():
+            capacity += molecule.n_lines
+            used += molecule.occupancy()
+        return used / capacity if capacity else 0.0
+
     # ------------------------------------------------- replacement view ops
 
     def row_of(self, block: int, lines_per_molecule: int) -> int:

@@ -36,6 +36,11 @@ import math
 from repro.common.errors import SimulationError
 from repro.molecular.config import ResizePolicy
 from repro.molecular.region import CacheRegion
+from repro.telemetry.events import (
+    MoleculeGranted,
+    MoleculeWithdrawn,
+    ResizeDecision,
+)
 
 #: Cycles one resize() computation costs per application (paper estimate).
 RESIZE_COMPUTE_CYCLES = 1_500
@@ -151,6 +156,7 @@ class Resizer:
         miss_rate = region.window_miss_rate
         current = region.molecule_count
         goal = region.goal
+        log_mark = len(self.log)
 
         if self.advisor is not None and miss_rate <= self.policy.panic_miss_rate:
             target = self.advisor.effective_target(region)
@@ -179,6 +185,7 @@ class Resizer:
                     else:
                         self.advisor.note_overestimate(region.asid)
                 region.last_miss_rate = miss_rate
+                self._emit_decision(region, total_accesses, miss_rate, log_mark)
                 return
             # not enough samples yet: fall through to the linear model
 
@@ -200,6 +207,38 @@ class Resizer:
             if amount > 0:
                 self._grow(region, amount, total_accesses)
         region.last_miss_rate = miss_rate
+        self._emit_decision(region, total_accesses, miss_rate, log_mark)
+
+    def _emit_decision(
+        self,
+        region: CacheRegion,
+        total_accesses: int,
+        miss_rate: float,
+        log_mark: int,
+    ) -> None:
+        """Publish the branch Algorithm 1 just took (telemetry only)."""
+        bus = getattr(self.cache, "telemetry", None)
+        if bus is None:
+            return
+        if len(self.log) > log_mark:
+            _, _, action, amount = self.log[-1]
+        else:
+            action, amount = "hold", 0
+        if self.policy.trigger == "per_app_adaptive":
+            period = region.resize_period
+        else:
+            period = self.global_period
+        bus.emit(
+            ResizeDecision(
+                accesses=total_accesses,
+                asid=region.asid,
+                action=action,
+                amount=amount,
+                window_miss_rate=miss_rate,
+                molecules=region.molecule_count,
+                period=period,
+            )
+        )
 
     # ------------------------------------------------------------- actions
 
@@ -215,11 +254,23 @@ class Resizer:
             region.last_allocation = len(granted)
             self.cache.stats.molecules_granted += len(granted)
             self.log.append((total_accesses, region.asid, "grow", len(granted)))
+            bus = getattr(self.cache, "telemetry", None)
+            if bus is not None:
+                bus.emit(
+                    MoleculeGranted(
+                        accesses=total_accesses,
+                        asid=region.asid,
+                        count=len(granted),
+                        tiles=sorted({m.tile_id for m in granted}),
+                        molecules=region.molecule_count,
+                    )
+                )
         else:
             self.log.append((total_accesses, region.asid, "grow-denied", amount))
 
     def _withdraw(self, region: CacheRegion, amount: int, total_accesses: int) -> None:
         withdrawn = 0
+        dirty_flushed = 0
         for _ in range(amount):
             if region.molecule_count <= self.policy.min_molecules:
                 break
@@ -229,10 +280,22 @@ class Resizer:
             tile.release(molecule)
             dirty = sum(1 for _block, was_dirty in flushed if was_dirty)
             self.cache.stats.writebacks_to_memory += dirty
+            dirty_flushed += dirty
             withdrawn += 1
         if withdrawn:
             self.cache.stats.molecules_withdrawn += withdrawn
             self.log.append((total_accesses, region.asid, "withdraw", withdrawn))
+            bus = getattr(self.cache, "telemetry", None)
+            if bus is not None:
+                bus.emit(
+                    MoleculeWithdrawn(
+                        accesses=total_accesses,
+                        asid=region.asid,
+                        count=withdrawn,
+                        writebacks=dirty_flushed,
+                        molecules=region.molecule_count,
+                    )
+                )
 
     def force_resize(self) -> None:
         """Run a resize round immediately (test/diagnostic hook)."""

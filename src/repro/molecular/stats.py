@@ -63,7 +63,9 @@ class MolecularStats(CacheStats):
         return self.latency_cycles / self.total.accesses
 
     def as_dict(self) -> dict:
-        base = super().as_dict()
+        # Explicit base call: zero-arg super() breaks under
+        # @dataclass(slots=True), which replaces the class object.
+        base = CacheStats.as_dict(self)
         base.update(
             {
                 "molecules_probed_local": self.molecules_probed_local,
@@ -71,9 +73,13 @@ class MolecularStats(CacheStats):
                 "mean_molecules_probed": self.mean_molecules_probed(),
                 "asid_comparisons": self.asid_comparisons,
                 "lines_fetched": self.lines_fetched,
+                "writebacks_to_memory": self.writebacks_to_memory,
                 "resize_events": self.resize_events,
                 "molecules_granted": self.molecules_granted,
                 "molecules_withdrawn": self.molecules_withdrawn,
+                "resize_compute_cycles": self.resize_compute_cycles,
+                "latency_cycles": self.latency_cycles,
+                "mean_latency_cycles": self.mean_latency_cycles(),
             }
         )
         return base

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.caches.stats import AsidCounters
 from repro.common.errors import ConfigError
+from repro.telemetry.bus import EventBus, attach_telemetry
 from repro.trace.container import Trace
 
 
@@ -83,9 +84,18 @@ class CMPRunner:
     attribute with ``per_asid`` counters.
     """
 
-    def __init__(self, cache, config: CMPRunConfig | None = None) -> None:
+    def __init__(
+        self,
+        cache,
+        config: CMPRunConfig | None = None,
+        telemetry: EventBus | None = None,
+    ) -> None:
         self.cache = cache
         self.config = config or CMPRunConfig()
+        #: Optional event bus attached to the cache at run start (ignored
+        #: by caches without telemetry support). The runner flushes the
+        #: tail epoch after the run; closing the bus is the caller's job.
+        self.telemetry = telemetry
 
     def run(self, traces: dict[int, Trace], line_bytes: int = 64) -> CMPRunResult:
         """Execute the traces concurrently; returns post-warm-up statistics.
@@ -94,6 +104,7 @@ class CMPRunner:
         """
         if not traces:
             raise ConfigError("CMPRunner.run needs at least one trace")
+        attach_telemetry(self.cache, self.telemetry)
         streams = {}
         for asid, trace in traces.items():
             if len(trace) == 0:
@@ -136,6 +147,8 @@ class CMPRunner:
             gap = 1.0 if result.hit else 1.0 + penalty
             push(heap, (time_now + gap, tiebreak, asid, index))
 
+        if self.telemetry is not None:
+            self.telemetry.flush_epoch()
         return self._collect(snapshot, issued, end_time)
 
     def _collect(

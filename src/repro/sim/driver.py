@@ -8,21 +8,35 @@ through a cache in order.
 from __future__ import annotations
 
 from repro.common.errors import ConfigError
+from repro.telemetry.bus import EventBus, attach_telemetry
 from repro.trace.container import Trace
 
 
-def run_trace(cache, trace: Trace, line_bytes: int = 64, warmup_refs: int = 0):
+def run_trace(
+    cache,
+    trace: Trace,
+    line_bytes: int = 64,
+    warmup_refs: int = 0,
+    telemetry: EventBus | None = None,
+):
     """Stream ``trace`` through ``cache``; returns the cache's stats object.
 
     ``warmup_refs`` leading references are simulated but excluded from the
     returned statistics (the cache's counters are reset at that point).
+
+    ``telemetry`` attaches an :class:`~repro.telemetry.bus.EventBus` for
+    the duration of the run (caches without telemetry support ignore it);
+    the tail epoch is flushed before returning, but the bus is left open —
+    the caller owns its lifecycle.
     """
     if warmup_refs < 0:
         raise ConfigError("warmup_refs cannot be negative")
-    if warmup_refs >= len(trace) and len(trace) > 0 and warmup_refs > 0:
+    if len(trace) > 0 and warmup_refs >= len(trace):
         raise ConfigError(
-            f"warmup ({warmup_refs}) must be shorter than the trace ({len(trace)})"
+            f"warmup_refs ({warmup_refs}) must be smaller than the trace "
+            f"length ({len(trace)}); nothing would be measured"
         )
+    attach_telemetry(cache, telemetry)
     blocks = trace.blocks(line_bytes).tolist()
     asids = trace.asids.tolist()
     writes = trace.writes.tolist()
@@ -31,4 +45,6 @@ def run_trace(cache, trace: Trace, line_bytes: int = 64, warmup_refs: int = 0):
         if index == warmup_refs and warmup_refs:
             cache.stats.reset()
         access_block(block, asid, write)
+    if telemetry is not None:
+        telemetry.flush_epoch()
     return cache.stats

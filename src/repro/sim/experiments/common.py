@@ -15,6 +15,7 @@ from repro.common.errors import ConfigError
 from repro.molecular.cache import MolecularCache
 from repro.molecular.config import MolecularCacheConfig, ResizePolicy
 from repro.sim.cmp import CMPRunConfig, CMPRunner, CMPRunResult
+from repro.telemetry.bus import EventBus
 from repro.trace.container import Trace
 from repro.workloads.registry import get_model
 
@@ -84,11 +85,14 @@ def run_molecular_workload(
     line_multipliers: dict[int, int] | None = None,
     miss_penalty: float = DEFAULT_MISS_PENALTY,
     warmup_refs: int | None = None,
+    telemetry: EventBus | None = None,
 ) -> MolecularRun:
     """Run the workload on a molecular cache, one region per application.
 
     ``tile_assignment`` maps ASID to home tile; defaults to one tile per
     application in ASID order (the paper's static processor-tile mapping).
+    ``telemetry`` records the run through an event bus (see
+    :mod:`repro.telemetry`); the caller closes the bus.
     """
     cache = MolecularCache(
         config, resize_policy=resize_policy or ResizePolicy(), placement=placement
@@ -105,6 +109,8 @@ def run_molecular_workload(
     if warmup_refs is None:
         refs = min(len(t) for t in traces.values())
         warmup_refs = warmup_for(refs, len(traces))
-    runner = CMPRunner(cache, CMPRunConfig(miss_penalty, warmup_refs))
+    runner = CMPRunner(
+        cache, CMPRunConfig(miss_penalty, warmup_refs), telemetry=telemetry
+    )
     result = runner.run(traces)
     return MolecularRun(result=result, cache=cache)

@@ -21,6 +21,7 @@ import heapq
 from repro.caches.coherence import SnoopingBus
 from repro.common.errors import ConfigError
 from repro.molecular.cache import MolecularCache
+from repro.telemetry.bus import EventBus, attach_telemetry
 from repro.trace.container import Trace
 
 
@@ -80,6 +81,7 @@ class CMPPlatform:
         shared_cache,
         config: PlatformConfig | None = None,
         asid_of_core: dict[int, int] | None = None,
+        telemetry: EventBus | None = None,
     ) -> None:
         self.config = config or PlatformConfig()
         self.bus = SnoopingBus(
@@ -92,6 +94,10 @@ class CMPPlatform:
         )
         self.shared = shared_cache
         self._is_molecular = isinstance(shared_cache, MolecularCache)
+        #: Optional event bus recording the shared level; note that the
+        #: L1s filter the stream, so recorded references are L1 misses.
+        self.telemetry = telemetry
+        attach_telemetry(shared_cache, telemetry)
 
     # ----------------------------------------------------------- internals
 
@@ -160,4 +166,6 @@ class CMPPlatform:
                 result.end_cycle = now + cycles
                 break
             heapq.heappush(heap, (now + cycles, tiebreak, core, index))
+        if self.telemetry is not None:
+            self.telemetry.flush_epoch()
         return result

@@ -1,0 +1,80 @@
+"""Telemetry: structured event tracing for the molecular-cache simulator.
+
+The paper's interesting artifacts are *time-resolved* — Figure 6 plots
+hits-per-molecule over a run, Algorithm 1 grants and withdraws molecules
+on periodic epochs — so this package records what the end-of-run counters
+cannot show: an :class:`EventBus` of typed events (resize decisions,
+grants/withdrawals, remote searches, epoch metric snapshots) with
+pluggable sinks (in-memory ring buffer, JSONL file, per-region metric
+timelines) and a replay layer that powers ``python -m repro inspect``.
+
+Design constraint: when no bus is attached the simulator's hot access
+loop pays exactly one attribute check (``cache.telemetry is None``) —
+see :mod:`repro.telemetry.bus` and the overhead guard in
+``benchmarks/test_perf_telemetry_overhead.py``.
+
+Quick start::
+
+    from repro.telemetry import EventBus, JsonlSink, MetricsTimeline
+
+    timeline = MetricsTimeline()
+    bus = EventBus([JsonlSink("events.jsonl"), timeline], epoch_refs=5_000)
+    cache.attach_telemetry(bus)
+    ...  # run the workload
+    bus.close()
+    print(timeline.metric_table("miss_rate"))
+
+The replay helpers (:func:`load_report`, :func:`replay_events`,
+:class:`InspectReport`) are exported lazily to keep instrumented modules
+(`molecular/cache.py`, `molecular/resize.py`) free of sim-layer imports.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.bus import EventBus, attach_telemetry
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    AccessSampled,
+    EpochRollover,
+    MoleculeGranted,
+    MoleculeWithdrawn,
+    RemoteSearch,
+    ResizeDecision,
+    RunMeta,
+    TelemetryEvent,
+    event_from_dict,
+)
+from repro.telemetry.sinks import JsonlSink, RingBufferSink, read_events
+from repro.telemetry.timeline import MetricsTimeline
+
+_REPLAY_EXPORTS = ("InspectReport", "load_report", "replay_events")
+
+__all__ = [
+    "AccessSampled",
+    "EpochRollover",
+    "EVENT_TYPES",
+    "EventBus",
+    "InspectReport",
+    "JsonlSink",
+    "MetricsTimeline",
+    "MoleculeGranted",
+    "MoleculeWithdrawn",
+    "RemoteSearch",
+    "ResizeDecision",
+    "RingBufferSink",
+    "RunMeta",
+    "TelemetryEvent",
+    "attach_telemetry",
+    "event_from_dict",
+    "load_report",
+    "read_events",
+    "replay_events",
+]
+
+
+def __getattr__(name: str):
+    if name in _REPLAY_EXPORTS:
+        from repro.telemetry import replay
+
+        return getattr(replay, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

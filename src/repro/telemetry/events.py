@@ -1,0 +1,205 @@
+"""Typed structured events for the telemetry subsystem.
+
+Every event is a frozen, slotted dataclass with a ``kind`` discriminator so
+a recorded stream can be serialised to JSONL (:class:`~repro.telemetry.sinks.
+JsonlSink`) and replayed later (:mod:`repro.telemetry.replay`) without any
+schema negotiation: one JSON object per line, ``kind`` selects the class.
+
+The event vocabulary mirrors the paper's observable dynamics:
+
+* :class:`AccessSampled` — every Nth reference through the access path
+  (block, hit/miss, probe counts), for spot-checking behaviour.
+* :class:`RemoteSearch` — a hierarchical Ulmo search left the home tile
+  (paper section 3.3); high-volume, so the bus can subsample it.
+* :class:`ResizeDecision` — one Algorithm-1 evaluation for one region:
+  the branch taken (``grow`` / ``withdraw`` / ``grow-denied`` / ``hold``)
+  with the window miss rate it saw.
+* :class:`MoleculeGranted` / :class:`MoleculeWithdrawn` — the resize
+  engine actually moved capacity (Figure 6's step changes).
+* :class:`EpochRollover` — a periodic snapshot of every region's epoch
+  miss rate, molecule count, occupancy and hits-per-molecule; the raw
+  material of the paper's time-resolved plots.
+* :class:`RunMeta` — a stream header describing the cache and its regions.
+
+This module depends only on the standard library so instrumented code
+(`molecular/cache.py`, `molecular/resize.py`) can import it without
+dragging in the sim layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, ClassVar
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryEvent:
+    """Base class: ``kind`` discriminator + dict/JSON round-tripping."""
+
+    kind: ClassVar[str] = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form with the ``kind`` discriminator first."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        payload.update(asdict(self))
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "TelemetryEvent":
+        """Rebuild an event from a decoded JSON object (sans ``kind``)."""
+        return cls(**payload)
+
+
+@dataclass(frozen=True, slots=True)
+class RunMeta(TelemetryEvent):
+    """Stream header: the cache geometry and its regions at attach time."""
+
+    kind: ClassVar[str] = "run_meta"
+
+    total_bytes: int
+    clusters: int
+    tiles: int
+    molecules_per_tile: int
+    lines_per_molecule: int
+    #: asid -> {"goal", "home_tile", "molecules", "line_multiplier"}
+    regions: dict[int, dict[str, Any]]
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "RunMeta":
+        payload = dict(payload)
+        payload["regions"] = _int_keys(payload.get("regions", {}))
+        return cls(**payload)
+
+
+@dataclass(frozen=True, slots=True)
+class AccessSampled(TelemetryEvent):
+    """Every Nth reference through the molecular access path."""
+
+    kind: ClassVar[str] = "access_sampled"
+
+    seq: int
+    asid: int
+    block: int
+    hit: bool
+    write: bool
+    local_probes: int
+    remote_probes: int
+
+
+@dataclass(frozen=True, slots=True)
+class RemoteSearch(TelemetryEvent):
+    """An access escalated past the home tile into Ulmo's search."""
+
+    kind: ClassVar[str] = "remote_search"
+
+    seq: int
+    asid: int
+    tiles_searched: int
+    molecules_probed: int
+    found: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ResizeDecision(TelemetryEvent):
+    """One Algorithm-1 evaluation for one region.
+
+    ``action`` is the branch taken: ``grow``, ``withdraw``, ``grow-denied``
+    (the allocator had no free molecules) or ``hold`` (no capacity change).
+    ``period`` is the resize period in effect when the decision fired.
+    """
+
+    kind: ClassVar[str] = "resize_decision"
+
+    accesses: int
+    asid: int
+    action: str
+    amount: int
+    window_miss_rate: float
+    molecules: int
+    period: int
+
+
+@dataclass(frozen=True, slots=True)
+class MoleculeGranted(TelemetryEvent):
+    """The resize engine granted molecules to a region."""
+
+    kind: ClassVar[str] = "molecule_granted"
+
+    accesses: int
+    asid: int
+    count: int
+    tiles: list[int]
+    molecules: int
+
+
+@dataclass(frozen=True, slots=True)
+class MoleculeWithdrawn(TelemetryEvent):
+    """The resize engine withdrew (and flushed) molecules from a region."""
+
+    kind: ClassVar[str] = "molecule_withdrawn"
+
+    accesses: int
+    asid: int
+    count: int
+    writebacks: int
+    molecules: int
+
+
+@dataclass(frozen=True, slots=True)
+class EpochRollover(TelemetryEvent):
+    """Periodic per-region metric snapshot (the timeline's data points).
+
+    ``regions`` maps each ASID to its metrics over the epoch just ended:
+    ``accesses``, ``miss_rate`` (epoch-local, not cumulative),
+    ``molecules`` (at the boundary), ``occupancy`` (valid-line fraction),
+    ``goal`` and ``hpm`` (epoch hit rate / molecule count — the paper's
+    Figure 6 metric, epoch-resolved).
+    """
+
+    kind: ClassVar[str] = "epoch_rollover"
+
+    epoch: int
+    seq: int
+    mean_molecules_probed: float
+    free_molecules: int
+    regions: dict[int, dict[str, Any]]
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "EpochRollover":
+        payload = dict(payload)
+        payload["regions"] = _int_keys(payload.get("regions", {}))
+        return cls(**payload)
+
+
+def _int_keys(table: dict) -> dict[int, Any]:
+    """JSON objects stringify integer keys; undo that on replay."""
+    return {int(key): value for key, value in table.items()}
+
+
+#: kind -> event class, for deserialisation.
+EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
+    cls.kind: cls
+    for cls in (
+        RunMeta,
+        AccessSampled,
+        RemoteSearch,
+        ResizeDecision,
+        MoleculeGranted,
+        MoleculeWithdrawn,
+        EpochRollover,
+    )
+}
+
+
+def event_from_dict(payload: dict[str, Any]) -> TelemetryEvent | None:
+    """Rebuild an event from its ``as_dict`` form.
+
+    Returns ``None`` for unknown kinds so replay tolerates streams written
+    by newer versions of the library.
+    """
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        return None
+    return cls.from_payload(data)

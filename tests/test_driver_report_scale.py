@@ -28,6 +28,16 @@ class TestDriver:
         with pytest.raises(ConfigError):
             run_trace(cache, Trace([0, 64]), warmup_refs=5)
 
+    def test_warmup_equal_to_trace_rejected(self):
+        cache = SetAssociativeCache(4096, 2)
+        with pytest.raises(ConfigError, match="smaller than the trace"):
+            run_trace(cache, Trace([0, 64]), warmup_refs=2)
+
+    def test_empty_trace_with_zero_warmup_ok(self):
+        cache = SetAssociativeCache(4096, 2)
+        stats = run_trace(cache, Trace([]), warmup_refs=0)
+        assert stats.total.accesses == 0
+
     def test_negative_warmup_rejected(self):
         cache = SetAssociativeCache(4096, 2)
         with pytest.raises(ConfigError):
