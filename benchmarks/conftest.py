@@ -10,17 +10,36 @@ Scale with ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=0.25`` for a quick pass).
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def emit(name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
+    """Print a result block and persist it under benchmarks/results/.
+
+    The write is atomic (same-directory tmp file + rename) so a bench
+    killed mid-write never leaves a truncated ``results/*.txt``.
+    """
     banner = f"\n{'#' * 70}\n{text}\n{'#' * 70}"
     print(banner)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    target = RESULTS_DIR / f"{name}.txt"
+    fd, tmp_name = tempfile.mkstemp(
+        dir=RESULTS_DIR, prefix=f"{name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def run_once(benchmark, func):

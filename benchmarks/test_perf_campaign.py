@@ -1,0 +1,91 @@
+"""Guard: campaign sweeps are byte-identical to serial, and faster.
+
+Two contracts from the campaign subsystem's acceptance criteria:
+
+* a ``figure5`` campaign (one job per design x size cell) reassembles to
+  the *byte-identical* ``format()`` output of the serial ``run_figure5``
+  path, whatever the worker count;
+* with >= 4 CPU cores, a 4-worker campaign beats the serial campaign's
+  wall clock (the speedup assertion is skipped on smaller machines —
+  process pools cannot beat serial on one core).
+
+Scale with ``REPRO_SCALE`` like every other bench; the equality check is
+exact at any scale because jobs regenerate their traces from the seed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import emit
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    ResultStore,
+    get_experiment,
+)
+from repro.sim.experiments.figure5 import run_figure5
+
+#: Required wall-clock advantage of --jobs 4 over serial on a >=4-core
+#: machine. Deliberately modest: worker startup and result pickling are
+#: real costs, and CI boxes are noisy.
+MIN_SPEEDUP = 1.2
+REFS_PER_APP = 400_000
+GRAPH = "A"
+
+
+def _run_campaign(tmp_dir, jobs: int) -> tuple[str, float]:
+    """One figure5 campaign; returns (formatted text, wall seconds)."""
+    target = get_experiment("figure5")
+    specs = target.jobs(refs=REFS_PER_APP, graph=GRAPH)
+    runner = CampaignRunner(
+        ResultStore(tmp_dir), CampaignConfig(jobs=jobs, resume=False)
+    )
+    start = time.perf_counter()
+    outcome = runner.run(specs, campaign="figure5")
+    elapsed = time.perf_counter() - start
+    result = target.assemble_results(
+        specs, outcome.results_in_order(), graph=GRAPH
+    )
+    return result.format(), elapsed
+
+
+def test_campaign_figure5_byte_identical_and_parallel_speedup(tmp_path):
+    serial_start = time.perf_counter()
+    reference = run_figure5(graph=GRAPH, refs_per_app=REFS_PER_APP).format()
+    serial_elapsed = time.perf_counter() - serial_start
+
+    campaign_serial, campaign_serial_elapsed = _run_campaign(
+        tmp_path / "serial", jobs=1
+    )
+    campaign_parallel, parallel_elapsed = _run_campaign(
+        tmp_path / "parallel", jobs=4
+    )
+
+    assert campaign_serial == reference, (
+        "a jobs=1 campaign must reproduce run_figure5 byte-for-byte"
+    )
+    assert campaign_parallel == reference, (
+        "a jobs=4 campaign must reproduce run_figure5 byte-for-byte"
+    )
+
+    cores = os.cpu_count() or 1
+    speedup = campaign_serial_elapsed / max(parallel_elapsed, 1e-9)
+    emit(
+        "perf_campaign",
+        "Campaign figure5 sweep (graph A)\n"
+        f"  cores                 : {cores}\n"
+        f"  serial run_figure5    : {serial_elapsed:.1f}s\n"
+        f"  campaign --jobs 1     : {campaign_serial_elapsed:.1f}s\n"
+        f"  campaign --jobs 4     : {parallel_elapsed:.1f}s\n"
+        f"  speedup (jobs 4 vs 1) : {speedup:.2f}x\n"
+        f"  byte-identical output : yes",
+    )
+
+    if cores >= 4:
+        assert speedup >= MIN_SPEEDUP, (
+            f"--jobs 4 managed only {speedup:.2f}x over serial on a "
+            f"{cores}-core machine (need >= {MIN_SPEEDUP}x)"
+        )

@@ -1,0 +1,424 @@
+"""Campaign execution: a worker pool over deterministic job specs.
+
+The runner takes an ordered list of :class:`~repro.campaign.spec.JobSpec`
+and produces one result payload per spec, in spec order, persisting each
+to the :class:`~repro.campaign.store.ResultStore` the moment it
+completes. Execution modes:
+
+* ``jobs > 1`` — a ``ProcessPoolExecutor`` with a sliding submission
+  window (at most ``jobs`` in flight, so the per-job timeout measures
+  *running* time, not queue time);
+* ``jobs <= 1`` — in-process serial execution, no pool;
+* **fallback** — if the pool cannot be created or keeps breaking (some
+  sandboxes forbid the semaphores ``multiprocessing`` needs), the
+  remaining jobs run serially in-process and the campaign still
+  completes (``CampaignResult.mode == "serial-fallback"``).
+
+Failure policy: a job that raises is retried up to ``retries`` times
+with exponential backoff; :class:`~repro.common.errors.ConfigError` is
+never retried (a bad parameter is deterministic). A job exceeding
+``timeout`` seconds tears the pool down (a stuck worker cannot be
+cancelled individually), re-queues everything unfinished, and counts as
+one failed attempt for the offender. Retries exhausted raise
+:class:`~repro.common.errors.CampaignError`; everything already
+persisted survives for a ``--resume``.
+
+Determinism: each job re-derives its inputs from its spec (traces are
+regenerated from the seed inside the worker), so a parallel campaign's
+reassembled results are byte-identical to a serial run — the *order* of
+completion varies, the *content* cannot.
+
+Fault injection: ``CampaignRunner(fault_hook=...)`` calls the hook with
+the number of jobs persisted so far after each save; a hook that raises
+simulates a mid-campaign crash *after* durable progress, which is
+exactly what the resume tests need.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.campaign.spec import JobSpec
+from repro.campaign.store import ResultStore
+from repro.common.errors import CampaignError, ConfigError
+from repro.telemetry.events import (
+    JobCompleted,
+    JobRetried,
+    JobStarted,
+    JobSubmitted,
+)
+
+try:  # pragma: no cover - always present on CPython
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = RuntimeError  # type: ignore[misc,assignment]
+
+#: Seconds between completion polls in the pool dispatch loop.
+_POLL_INTERVAL = 0.05
+#: Cap on one backoff sleep, whatever the retry count.
+_MAX_BACKOFF = 10.0
+
+
+@contextmanager
+def _scale_env(scale: float):
+    """Pin ``REPRO_SCALE`` to the spec's captured factor for one job."""
+    previous = os.environ.get("REPRO_SCALE")
+    os.environ["REPRO_SCALE"] = repr(scale)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SCALE", None)
+        else:
+            os.environ["REPRO_SCALE"] = previous
+
+
+def execute_spec(payload: dict[str, Any]) -> dict[str, Any]:
+    """Worker entry point: run one job from its JSON payload.
+
+    Top-level so it pickles across process boundaries; also used verbatim
+    by the in-process serial path, which is what guarantees serial and
+    parallel campaigns execute identical code.
+    """
+    from repro.campaign.registry import execute_job
+
+    spec = JobSpec.from_payload(payload)
+    start = time.perf_counter()
+    with _scale_env(spec.scale):
+        result = execute_job(spec)
+    return {"result": result, "elapsed": time.perf_counter() - start}
+
+
+@dataclass(slots=True)
+class CampaignConfig:
+    """Execution knobs for one campaign run."""
+
+    jobs: int = 1
+    timeout: float | None = None
+    retries: int = 2
+    backoff: float = 0.5
+    resume: bool = True
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ConfigError("jobs must be >= 0 (0 = one worker per CPU)")
+        if self.jobs == 0:
+            self.jobs = os.cpu_count() or 1
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError("per-job timeout must be positive")
+        if self.retries < 0:
+            raise ConfigError("retries cannot be negative")
+
+
+@dataclass(slots=True)
+class CampaignResult:
+    """Everything a completed campaign produced, reassembled in spec order."""
+
+    campaign: str
+    specs: list[JobSpec]
+    payloads: dict[str, Any] = field(default_factory=dict)
+    cached: set[str] = field(default_factory=set)
+    executed: int = 0
+    retried: int = 0
+    elapsed: float = 0.0
+    mode: str = "serial"
+
+    def results_in_order(self) -> list[Any]:
+        """One result payload per spec, in the original spec order."""
+        return [self.payloads[spec.content_hash()] for spec in self.specs]
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.campaign}: {len(self.specs)} jobs "
+            f"({self.executed} run, {len(self.cached)} cached, "
+            f"{self.retried} retried) in {self.elapsed:.1f}s [{self.mode}]"
+        )
+
+
+class CampaignRunner:
+    """Executes job specs against a store, optionally in parallel."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        config: CampaignConfig | None = None,
+        telemetry=None,
+        fault_hook: Callable[[int], None] | None = None,
+    ) -> None:
+        self.store = store
+        self.config = config or CampaignConfig()
+        self.telemetry = telemetry
+        self.fault_hook = fault_hook
+        self._persisted = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    def _emit(self, event) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(event)
+
+    def _persist(
+        self,
+        result: CampaignResult,
+        index: int,
+        spec: JobSpec,
+        outcome: dict[str, Any],
+        attempt: int,
+    ) -> None:
+        job_hash = self.store.save(
+            spec, outcome["result"], outcome["elapsed"], attempt
+        )
+        result.payloads[job_hash] = outcome["result"]
+        result.executed += 1
+        self._persisted += 1
+        self._emit(
+            JobCompleted(
+                campaign=result.campaign,
+                job=job_hash,
+                index=index,
+                attempts=attempt,
+                elapsed=outcome["elapsed"],
+                cached=False,
+            )
+        )
+        if self.fault_hook is not None:
+            self.fault_hook(self._persisted)
+
+    def _next_attempt(
+        self, result: CampaignResult, index: int, spec: JobSpec,
+        attempt: int, error: BaseException,
+    ) -> int:
+        """Account one failure; returns the next attempt number."""
+        if isinstance(error, ConfigError):
+            raise CampaignError(
+                f"job {spec.label()} is misconfigured: {error}"
+            ) from error
+        if attempt > self.config.retries:
+            raise CampaignError(
+                f"job {spec.label()} failed after {attempt} attempt(s): {error}"
+            ) from error
+        result.retried += 1
+        self._emit(
+            JobRetried(
+                campaign=result.campaign,
+                job=spec.content_hash(),
+                index=index,
+                attempt=attempt + 1,
+                error=str(error) or type(error).__name__,
+            )
+        )
+        delay = min(self.config.backoff * (2 ** (attempt - 1)), _MAX_BACKOFF)
+        if delay > 0:
+            time.sleep(delay)
+        return attempt + 1
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self,
+        specs: list[JobSpec],
+        campaign: str = "campaign",
+        options: dict[str, Any] | None = None,
+    ) -> CampaignResult:
+        """Execute ``specs``; every completed job lands in the store."""
+        if not specs:
+            raise ConfigError("a campaign needs at least one job spec")
+        started = time.perf_counter()
+        result = CampaignResult(campaign=campaign, specs=list(specs))
+        self._persisted = 0
+        self.store.write_manifest(campaign, result.specs, options or {})
+
+        hashes = [spec.content_hash() for spec in result.specs]
+        cached = self.store.completed(hashes) if self.config.resume else set()
+        pending: list[tuple[int, JobSpec]] = []
+        seen: set[str] = set()
+        for index, (spec, job_hash) in enumerate(zip(result.specs, hashes)):
+            self._emit(
+                JobSubmitted(
+                    campaign=campaign,
+                    job=job_hash,
+                    experiment=spec.experiment,
+                    index=index,
+                )
+            )
+            if job_hash in cached:
+                record = self.store.load(job_hash)
+                result.payloads[job_hash] = record["result"]
+                result.cached.add(job_hash)
+                self._emit(
+                    JobCompleted(
+                        campaign=campaign,
+                        job=job_hash,
+                        index=index,
+                        attempts=record.get("attempts", 1),
+                        elapsed=record.get("elapsed", 0.0),
+                        cached=True,
+                    )
+                )
+            elif job_hash not in seen:  # identical specs run once
+                seen.add(job_hash)
+                pending.append((index, spec))
+
+        if self.config.jobs > 1 and len(pending) > 1:
+            result.mode = "pool"
+            self._run_pool(result, pending)
+        else:
+            result.mode = "serial"
+            self._run_serial(result, pending)
+        result.elapsed = time.perf_counter() - started
+        return result
+
+    # -------------------------------------------------------------- serial
+
+    def _run_serial(
+        self, result: CampaignResult, pending: list[tuple[int, JobSpec]]
+    ) -> None:
+        for index, spec in pending:
+            attempt = 1
+            while True:
+                self._emit(
+                    JobStarted(
+                        campaign=result.campaign,
+                        job=spec.content_hash(),
+                        index=index,
+                        attempt=attempt,
+                    )
+                )
+                try:
+                    outcome = execute_spec(spec.as_payload())
+                except (KeyboardInterrupt, SystemExit, CampaignError):
+                    raise
+                except Exception as error:
+                    attempt = self._next_attempt(
+                        result, index, spec, attempt, error
+                    )
+                else:
+                    self._persist(result, index, spec, outcome, attempt)
+                    break
+
+    # ---------------------------------------------------------------- pool
+
+    def _run_pool(
+        self, result: CampaignResult, pending: list[tuple[int, JobSpec]]
+    ) -> None:
+        workers = min(self.config.jobs, len(pending))
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except Exception as error:  # pool unavailable: sandboxed env etc.
+            print(
+                f"campaign: worker pool unavailable ({error}); "
+                "falling back to serial execution",
+                file=sys.stderr,
+            )
+            result.mode = "serial-fallback"
+            self._run_serial(result, pending)
+            return
+
+        queue: deque[tuple[int, JobSpec, int]] = deque(
+            (index, spec, 1) for index, spec in pending
+        )
+        active: dict[Any, tuple[int, JobSpec, int, float]] = {}
+        pool_breaks = 0
+        try:
+            while queue or active:
+                while queue and len(active) < workers:
+                    index, spec, attempt = queue.popleft()
+                    future = pool.submit(execute_spec, spec.as_payload())
+                    active[future] = (index, spec, attempt, time.monotonic())
+                    self._emit(
+                        JobStarted(
+                            campaign=result.campaign,
+                            job=spec.content_hash(),
+                            index=index,
+                            attempt=attempt,
+                        )
+                    )
+                done, _ = wait(
+                    set(active), timeout=_POLL_INTERVAL,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in done:
+                    index, spec, attempt, _t0 = active.pop(future)
+                    try:
+                        outcome = future.result()
+                    except (BrokenProcessPool, OSError) as error:
+                        # The pool died under us; every in-flight job is
+                        # lost. Requeue them all, charge the surfacing
+                        # job one attempt, and rebuild the pool.
+                        pool_breaks += 1
+                        if pool_breaks > self.config.retries + 1:
+                            print(
+                                "campaign: worker pool keeps breaking; "
+                                "falling back to serial execution",
+                                file=sys.stderr,
+                            )
+                            queue.appendleft((index, spec, attempt))
+                            for i, s, a, _t in active.values():
+                                queue.append((i, s, a))
+                            active.clear()
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            result.mode = "serial-fallback"
+                            self._run_serial(result, list(
+                                (i, s) for i, s, _a in queue
+                            ))
+                            return
+                        attempt = self._next_attempt(
+                            result, index, spec, attempt, error
+                        )
+                        queue.appendleft((index, spec, attempt))
+                        for i, s, a, _t in active.values():
+                            queue.append((i, s, a))
+                        active.clear()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(max_workers=workers)
+                        broken = True
+                        break
+                    except Exception as error:
+                        attempt = self._next_attempt(
+                            result, index, spec, attempt, error
+                        )
+                        queue.append((index, spec, attempt))
+                    else:
+                        self._persist(result, index, spec, outcome, attempt)
+                if broken:
+                    continue
+                if self.config.timeout is not None and active:
+                    now = time.monotonic()
+                    expired = [
+                        future
+                        for future, (_i, _s, _a, t0) in active.items()
+                        if now - t0 > self.config.timeout
+                    ]
+                    if expired:
+                        # A stuck worker cannot be cancelled individually:
+                        # tear the pool down, requeue survivors unchanged
+                        # and the expired jobs with one attempt charged.
+                        for future in expired:
+                            index, spec, attempt, _t0 = active.pop(future)
+                            attempt = self._next_attempt(
+                                result, index, spec, attempt,
+                                TimeoutError(
+                                    f"exceeded {self.config.timeout:.1f}s"
+                                ),
+                            )
+                            queue.append((index, spec, attempt))
+                        for i, s, a, _t in active.values():
+                            queue.append((i, s, a))
+                        active.clear()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(max_workers=workers)
+        finally:
+            # Normal completion has drained queue and active, so waiting
+            # is instant and joins the worker/management threads before
+            # interpreter exit (otherwise the atexit hook races their
+            # pipe teardown and prints an ignored OSError). Abnormal
+            # exits may leave stuck workers in flight: don't block.
+            pool.shutdown(wait=not (queue or active), cancel_futures=True)

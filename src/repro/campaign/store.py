@@ -1,0 +1,139 @@
+"""The on-disk result store: content-hashed cache + campaign manifest.
+
+Layout of a store directory::
+
+    <root>/
+        manifest.json           # what the campaign is (specs in order)
+        results/<hash>.json     # one completed job, keyed by content hash
+
+Every write is atomic (tmp file in the same directory + ``os.replace``)
+so a campaign killed mid-write never leaves a truncated JSON file — on
+restart the job simply re-runs. Because results are keyed by the spec's
+content hash, the cache is valid across campaigns: any job whose hash is
+present is complete, regardless of which run produced it. That is what
+makes ``--resume`` skip-completed semantics safe, and a re-run with
+identical specs a pure cache hit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.common.errors import ConfigError
+from repro.campaign.spec import JobSpec
+
+#: Manifest schema version, bumped on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+
+def _atomic_write_json(path: Path, payload: Any) -> None:
+    """Write ``payload`` as JSON via a same-directory tmp file + rename."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, separators=(",", ":"), sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Content-addressed JSON results plus a descriptive manifest."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        try:
+            self.results_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ConfigError(
+                f"cannot create campaign store at {self.root}: {error}"
+            ) from None
+
+    # --------------------------------------------------------------- jobs
+
+    def _result_path(self, job_hash: str) -> Path:
+        return self.results_dir / f"{job_hash}.json"
+
+    def has(self, job_hash: str) -> bool:
+        return self._result_path(job_hash).exists()
+
+    def save(self, spec: JobSpec, result: Any, elapsed: float, attempts: int) -> str:
+        """Persist one completed job atomically; returns its hash."""
+        job_hash = spec.content_hash()
+        _atomic_write_json(
+            self._result_path(job_hash),
+            {
+                "spec": spec.as_payload(),
+                "result": result,
+                "elapsed": elapsed,
+                "attempts": attempts,
+            },
+        )
+        return job_hash
+
+    def load(self, job_hash: str) -> dict[str, Any]:
+        """The full saved record (``spec`` / ``result`` / ``elapsed``)."""
+        path = self._result_path(job_hash)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            raise ConfigError(f"no campaign result {job_hash} in {self.root}") from None
+        except json.JSONDecodeError as error:
+            raise ConfigError(
+                f"{path}: corrupt campaign result ({error}); delete it and re-run"
+            ) from None
+
+    def load_result(self, job_hash: str) -> Any:
+        return self.load(job_hash)["result"]
+
+    def completed(self, hashes: Iterable[str]) -> set[str]:
+        """The subset of ``hashes`` that already have a stored result."""
+        return {job_hash for job_hash in hashes if self.has(job_hash)}
+
+    # ----------------------------------------------------------- manifest
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def write_manifest(
+        self, campaign: str, specs: list[JobSpec], options: dict[str, Any]
+    ) -> None:
+        """Describe the campaign: its target, options and ordered specs."""
+        _atomic_write_json(
+            self.manifest_path,
+            {
+                "version": MANIFEST_VERSION,
+                "campaign": campaign,
+                "options": options,
+                "jobs": [
+                    {"hash": spec.content_hash(), "spec": spec.as_payload()}
+                    for spec in specs
+                ],
+            },
+        )
+
+    def read_manifest(self) -> dict[str, Any] | None:
+        """The stored manifest, or None when the store is fresh."""
+        try:
+            with self.manifest_path.open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as error:
+            raise ConfigError(
+                f"{self.manifest_path}: corrupt campaign manifest ({error})"
+            ) from None

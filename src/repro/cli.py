@@ -8,6 +8,11 @@ Commands
     Characterise a model's trace (footprint, locality, LRU miss curve).
 ``experiment {table1,table2,table4,table5,figure5,figure6}``
     Run one of the paper's experiments and print its table/series.
+``sweep {table1,table2,table4,table5,figure5,figure6}``
+    Run an experiment as a campaign: independent jobs on a worker pool
+    (``--jobs``), cached in a content-hashed result store (``--out``),
+    resumable after interruption (``--resume``). Output is
+    byte-identical to ``experiment``.
 ``simulate``
     Run a workload mix on a molecular or traditional cache; ``--record``
     writes a telemetry JSONL stream alongside the run.
@@ -37,9 +42,12 @@ def parse_size(text: str) -> int:
             multiplier = factor
             break
     try:
-        return int(float(raw) * multiplier)
+        size = int(float(raw) * multiplier)
     except ValueError:
         raise ConfigError(f"cannot parse size {text!r}") from None
+    if size <= 0:
+        raise ConfigError(f"size must be positive, got {text!r}")
+    return size
 
 
 # ---------------------------------------------------------------- commands
@@ -91,26 +99,21 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_options(target, args: argparse.Namespace) -> dict:
+    """The registry options this target accepts, taken from the CLI."""
+    return {
+        name: getattr(args, name)
+        for name in target.options
+        if getattr(args, name, None) is not None
+    }
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.sim import experiments
+    from repro.campaign.registry import get_experiment
 
     name = args.name
-    if name == "table1":
-        result = experiments.run_table1(refs_per_app=args.refs or 500_000)
-    elif name == "table2":
-        result = experiments.run_table2(refs_per_app=args.refs or 300_000)
-    elif name == "table4":
-        result = experiments.run_table4(refs_per_app=args.refs or 150_000)
-    elif name == "table5":
-        result = experiments.run_table5(refs_per_app=args.refs or 300_000)
-    elif name == "figure5":
-        result = experiments.run_figure5(
-            graph=args.graph, refs_per_app=args.refs or 400_000
-        )
-    elif name == "figure6":
-        result = experiments.run_figure6(refs_per_app=args.refs or 300_000)
-    else:  # pragma: no cover - argparse restricts choices
-        raise ConfigError(f"unknown experiment {name!r}")
+    target = get_experiment(name)
+    result = target.run_serial(refs=args.refs, **_experiment_options(target, args))
     print(result.format())
     if name == "figure5" and args.chart:
         from repro.sim.plot import ascii_chart
@@ -207,6 +210,54 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign import CampaignConfig, CampaignRunner, ResultStore
+    from repro.campaign.registry import get_experiment
+
+    target = get_experiment(args.name)
+    options = _experiment_options(target, args)
+    specs = target.jobs(refs=args.refs, seed=args.seed, **options)
+
+    out = Path(args.out) if args.out else Path("campaigns") / args.name
+    store = ResultStore(out)
+    config = CampaignConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        resume=args.resume,
+    )
+
+    bus = sink = None
+    if args.record:
+        from repro.telemetry import EventBus, JsonlSink
+
+        sink = JsonlSink(args.record)
+        bus = EventBus([sink], epoch_refs=0)
+
+    runner = CampaignRunner(store, config, telemetry=bus)
+    try:
+        outcome = runner.run(specs, campaign=args.name, options=options)
+    finally:
+        if bus is not None:
+            bus.close()
+
+    result = target.assemble_results(
+        specs, outcome.results_in_order(), **options
+    )
+    # Stdout carries exactly what `repro experiment <name>` prints, so the
+    # two paths stay byte-comparable; campaign bookkeeping goes to stderr.
+    print(result.format())
+    print(f"{outcome.summary()} -> {store.root}", file=sys.stderr)
+    if sink is not None:
+        print(
+            f"campaign telemetry: {sink.count} events -> {sink.path}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     from repro.telemetry.replay import load_report
 
@@ -248,17 +299,42 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--refs", type=int, default=100_000)
     profile.add_argument("--seed", type=int, default=1)
 
+    from repro.campaign.registry import experiment_names
+
     experiment = sub.add_parser("experiment", help="run a paper experiment")
-    experiment.add_argument(
-        "name",
-        choices=["table1", "table2", "table4", "table5", "figure5", "figure6"],
-    )
+    experiment.add_argument("name", choices=experiment_names())
     experiment.add_argument("--refs", type=int, default=None,
                             help="references per application")
     experiment.add_argument("--graph", choices=["A", "B"], default="A",
                             help="figure5 graph")
     experiment.add_argument("--chart", action="store_true",
                             help="render figure5 as an ASCII chart")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment as a parallel, resumable campaign",
+    )
+    sweep.add_argument("name", choices=experiment_names())
+    sweep.add_argument("--jobs", type=int, default=0,
+                       help="worker processes (0 = one per CPU, 1 = serial "
+                            "in-process)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip jobs already completed in the result store")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in seconds")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="retry budget per job for transient failures")
+    sweep.add_argument("--out", default=None,
+                       help="result store directory "
+                            "(default: campaigns/<name>)")
+    sweep.add_argument("--refs", type=int, default=None,
+                       help="references per application")
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--graph", choices=["A", "B"], default="A",
+                       help="figure5 graph")
+    sweep.add_argument("--record", metavar="PATH", default=None,
+                       help="record campaign lifecycle events to a JSONL "
+                            "file (replay with `repro inspect`)")
 
     simulate = sub.add_parser("simulate", help="run a workload mix on a cache")
     simulate.add_argument("--cache", choices=["molecular", "setassoc"],
@@ -306,6 +382,7 @@ _COMMANDS = {
     "models": cmd_models,
     "profile": cmd_profile,
     "experiment": cmd_experiment,
+    "sweep": cmd_sweep,
     "simulate": cmd_simulate,
     "inspect": cmd_inspect,
     "power": cmd_power,

@@ -36,3 +36,12 @@ class AllocationError(ReproError):
 
 class UnknownASIDError(ReproError, KeyError):
     """An access carried an ASID for which no cache region exists."""
+
+
+class CampaignError(ReproError, RuntimeError):
+    """A campaign could not complete: a job exhausted its retries, was
+    structurally misconfigured, or the worker pool failed permanently.
+
+    Jobs persisted before the failure remain in the result store, so a
+    corrected re-run with ``resume`` skips them.
+    """

@@ -11,8 +11,18 @@ from repro.sim.experiments.common import (
     run_molecular_workload,
     run_traditional_workload,
 )
-from repro.sim.experiments.table1 import Table1Result, run_table1
-from repro.sim.experiments.figure5 import Figure5Result, run_figure5
+from repro.sim.experiments.table1 import (
+    Table1Result,
+    run_table1,
+    run_table1_combo,
+    table1_combos,
+)
+from repro.sim.experiments.figure5 import (
+    Figure5Result,
+    figure5_series,
+    run_figure5,
+    run_figure5_cell,
+)
 from repro.sim.experiments.table2 import Table2Result, run_table2
 from repro.sim.experiments.figure6 import Figure6Result, run_figure6
 from repro.sim.experiments.table4 import Table4Result, run_table4
@@ -26,12 +36,16 @@ __all__ = [
     "Table4Result",
     "Table5Result",
     "build_traces",
+    "figure5_series",
     "run_figure5",
+    "run_figure5_cell",
     "run_figure6",
     "run_molecular_workload",
     "run_table1",
+    "run_table1_combo",
     "run_table2",
     "run_table4",
     "run_table5",
     "run_traditional_workload",
+    "table1_combos",
 ]

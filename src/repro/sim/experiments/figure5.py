@@ -80,6 +80,64 @@ def goals_for_graph(graph: str) -> dict[int, float | None]:
     raise ConfigError(f"Figure 5 has graphs 'A' and 'B', not {graph!r}")
 
 
+def figure5_series() -> list[tuple[str, str, int | str]]:
+    """Every design series as ``(label, kind, parameter)``.
+
+    ``kind`` is ``"traditional"`` (parameter = associativity) or
+    ``"molecular"`` (parameter = placement policy), in the figure's
+    series order — the order ``run_figure5`` builds its result in.
+    """
+    series: list[tuple[str, str, int | str]] = [
+        (label, "traditional", assoc) for label, assoc in TRADITIONAL_SERIES
+    ]
+    series += [
+        (label, "molecular", placement) for label, placement in MOLECULAR_SERIES
+    ]
+    return series
+
+
+def run_figure5_cell(
+    kind: str,
+    parameter: int | str,
+    size_mb: int,
+    graph: str = "A",
+    refs: int = 400_000,
+    seed: int = 1,
+    deviation_mode: DeviationMode = DeviationMode.ABSOLUTE,
+    traces=None,
+) -> tuple[float, dict[str, float]]:
+    """One design x size cell of Figure 5: ``(deviation, miss rates)``.
+
+    ``refs`` is the already-scaled per-application reference count.
+    ``traces`` lets a serial sweep reuse one trace set across cells;
+    when omitted the traces are regenerated from the seed, which yields
+    the identical reference stream — the property ``repro.campaign``
+    relies on to run cells in parallel workers byte-identically.
+    """
+    goals = goals_for_graph(graph)
+    if traces is None:
+        traces = build_traces(list(APPS), refs, seed)
+    if kind == "traditional":
+        run = run_traditional_workload(traces, size_mb << 20, parameter)
+        rates = run.miss_rates()
+    elif kind == "molecular":
+        config = MolecularCacheConfig.for_total_size(
+            size_mb << 20, clusters=1, tiles_per_cluster=4, strict=False
+        )
+        mol = run_molecular_workload(
+            traces,
+            config,
+            goals,
+            placement=parameter,
+            tile_assignment={asid: asid for asid in range(len(APPS))},
+        )
+        rates = mol.miss_rates
+    else:
+        raise ConfigError(f"unknown Figure 5 series kind {kind!r}")
+    deviation = average_deviation(rates, goals, deviation_mode)
+    return deviation, {APPS[a]: r for a, r in rates.items()}
+
+
 def run_figure5(
     graph: str = "A",
     refs_per_app: int = 400_000,
@@ -89,40 +147,24 @@ def run_figure5(
 ) -> Figure5Result:
     """Reproduce one graph of Figure 5."""
     refs = scaled(refs_per_app)
-    goals = goals_for_graph(graph)
     result = Figure5Result(graph=graph.upper(), sizes_mb=tuple(sizes_mb))
     traces = build_traces(list(APPS), refs, seed)
 
-    for label, assoc in TRADITIONAL_SERIES:
+    for label, kind, parameter in figure5_series():
         deviations: list[float] = []
         for size_mb in sizes_mb:
-            run = run_traditional_workload(traces, size_mb << 20, assoc)
-            rates = run.miss_rates()
-            deviations.append(average_deviation(rates, goals, deviation_mode))
-            result.miss_rates[(label, size_mb)] = {
-                APPS[a]: r for a, r in rates.items()
-            }
-        result.series[label] = deviations
-
-    for label, placement in MOLECULAR_SERIES:
-        deviations = []
-        for size_mb in sizes_mb:
-            config = MolecularCacheConfig.for_total_size(
-                size_mb << 20, clusters=1, tiles_per_cluster=4, strict=False
+            deviation, rates = run_figure5_cell(
+                kind,
+                parameter,
+                size_mb,
+                graph=graph,
+                refs=refs,
+                seed=seed,
+                deviation_mode=deviation_mode,
+                traces=traces,
             )
-            run = run_molecular_workload(
-                traces,
-                config,
-                goals,
-                placement=placement,
-                tile_assignment={asid: asid for asid in range(len(APPS))},
-            )
-            deviations.append(
-                average_deviation(run.miss_rates, goals, deviation_mode)
-            )
-            result.miss_rates[(label, size_mb)] = {
-                APPS[a]: r for a, r in run.miss_rates.items()
-            }
+            deviations.append(deviation)
+            result.miss_rates[(label, size_mb)] = rates
         result.series[label] = deviations
 
     return result

@@ -69,6 +69,33 @@ class Table1Result:
         )
 
 
+def table1_combos() -> list[tuple[str, ...]]:
+    """The paper's combination order: alone, all pairs, all four."""
+    combos: list[tuple[str, ...]] = [(name,) for name in QUARTET]
+    combos += list(combinations(QUARTET, 2))
+    combos.append(QUARTET)
+    return combos
+
+
+def run_table1_combo(
+    combo: tuple[str, ...],
+    refs: int,
+    seed: int = 1,
+    size_bytes: int = 1 << 20,
+    associativity: int = 4,
+) -> dict[str, float]:
+    """One cell of Table 1: the given benchmarks sharing the cache.
+
+    ``refs`` is the already-scaled per-application reference count. Each
+    combination is an independent simulation (its traces are regenerated
+    from the seed), which is what lets ``repro.campaign`` run the cells
+    of this table as parallel jobs with byte-identical results.
+    """
+    traces = build_traces(list(combo), refs, seed)
+    run = run_traditional_workload(traces, size_bytes, associativity)
+    return {name: run.miss_rate(asid) for asid, name in enumerate(combo)}
+
+
 def run_table1(
     refs_per_app: int = 500_000,
     seed: int = 1,
@@ -80,13 +107,8 @@ def run_table1(
     result = Table1Result(
         cache_label=f"{size_bytes >> 20}MB {associativity}-way L2"
     )
-    combos: list[tuple[str, ...]] = [(name,) for name in QUARTET]
-    combos += list(combinations(QUARTET, 2))
-    combos.append(QUARTET)
-    for combo in combos:
-        traces = build_traces(list(combo), refs, seed)
-        run = run_traditional_workload(traces, size_bytes, associativity)
-        result.combos[combo] = {
-            name: run.miss_rate(asid) for asid, name in enumerate(combo)
-        }
+    for combo in table1_combos():
+        result.combos[combo] = run_table1_combo(
+            combo, refs, seed, size_bytes, associativity
+        )
     return result

@@ -36,6 +36,10 @@ from repro.telemetry.events import (
     EVENT_TYPES,
     AccessSampled,
     EpochRollover,
+    JobCompleted,
+    JobRetried,
+    JobStarted,
+    JobSubmitted,
     MoleculeGranted,
     MoleculeWithdrawn,
     RemoteSearch,
@@ -55,6 +59,10 @@ __all__ = [
     "EVENT_TYPES",
     "EventBus",
     "InspectReport",
+    "JobCompleted",
+    "JobRetried",
+    "JobStarted",
+    "JobSubmitted",
     "JsonlSink",
     "MetricsTimeline",
     "MoleculeGranted",

@@ -20,6 +20,10 @@ The event vocabulary mirrors the paper's observable dynamics:
   miss rate, molecule count, occupancy and hits-per-molecule; the raw
   material of the paper's time-resolved plots.
 * :class:`RunMeta` — a stream header describing the cache and its regions.
+* :class:`JobSubmitted` / :class:`JobStarted` / :class:`JobRetried` /
+  :class:`JobCompleted` — campaign lifecycle (:mod:`repro.campaign`):
+  one sweep job scheduled, handed to a worker, transiently failed, and
+  made durable in the result store.
 
 This module depends only on the standard library so instrumented code
 (`molecular/cache.py`, `molecular/resize.py`) can import it without
@@ -171,6 +175,61 @@ class EpochRollover(TelemetryEvent):
         return cls(**payload)
 
 
+@dataclass(frozen=True, slots=True)
+class JobSubmitted(TelemetryEvent):
+    """A campaign job entered the schedule (before any execution)."""
+
+    kind: ClassVar[str] = "job_submitted"
+
+    campaign: str
+    job: str  # the spec's content hash
+    experiment: str
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class JobStarted(TelemetryEvent):
+    """A campaign job was handed to a worker (or the serial loop)."""
+
+    kind: ClassVar[str] = "job_started"
+
+    campaign: str
+    job: str
+    index: int
+    attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class JobRetried(TelemetryEvent):
+    """A campaign job failed transiently and will run again."""
+
+    kind: ClassVar[str] = "job_retried"
+
+    campaign: str
+    job: str
+    index: int
+    attempt: int  # the attempt about to run
+    error: str
+
+
+@dataclass(frozen=True, slots=True)
+class JobCompleted(TelemetryEvent):
+    """A campaign job's result is durable in the store.
+
+    ``cached`` marks jobs satisfied straight from a previous campaign's
+    stored result (resume / identical re-run) — no execution happened.
+    """
+
+    kind: ClassVar[str] = "job_completed"
+
+    campaign: str
+    job: str
+    index: int
+    attempts: int
+    elapsed: float
+    cached: bool
+
+
 def _int_keys(table: dict) -> dict[int, Any]:
     """JSON objects stringify integer keys; undo that on replay."""
     return {int(key): value for key, value in table.items()}
@@ -187,6 +246,10 @@ EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
         MoleculeGranted,
         MoleculeWithdrawn,
         EpochRollover,
+        JobSubmitted,
+        JobStarted,
+        JobRetried,
+        JobCompleted,
     )
 }
 

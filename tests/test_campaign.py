@@ -1,0 +1,454 @@
+"""Tests for the campaign subsystem: specs, store, runner, registry.
+
+The heavyweight guarantees — resume after a mid-campaign crash and
+serial-vs-parallel byte equality — run at tiny scale (``REPRO_SCALE``
+pinned small) so the suite stays fast; the full-scale equivalents live
+in ``benchmarks/test_perf_campaign.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    JobSpec,
+    ResultStore,
+    execute_spec,
+    expand_grid,
+    experiment_names,
+    get_experiment,
+)
+from repro.common.errors import CampaignError, ConfigError
+from repro.telemetry import EventBus, RingBufferSink
+from repro.telemetry.events import (
+    JobCompleted,
+    JobRetried,
+    JobStarted,
+    JobSubmitted,
+    event_from_dict,
+)
+
+#: Small but above the scaled() floor, so the numbers are real.
+TINY_SCALE = "0.02"
+TINY_REFS = 20_000
+
+
+@pytest.fixture(autouse=True)
+def _tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", TINY_SCALE)
+
+
+# ------------------------------------------------------------------- specs
+
+
+class TestJobSpec:
+    def test_hash_ignores_param_order(self):
+        a = JobSpec.make("table1", "combo", {"x": 1, "y": [2, 3]}, seed=5)
+        b = JobSpec.make("table1", "combo", {"y": [2, 3], "x": 1}, seed=5)
+        assert a.content_hash() == b.content_hash()
+
+    def test_hash_covers_every_identity_field(self):
+        base = JobSpec.make("table1", "combo", {"x": 1}, seed=1, scale=1.0)
+        variants = [
+            JobSpec.make("table2", "combo", {"x": 1}, seed=1, scale=1.0),
+            JobSpec.make("table1", "cell", {"x": 1}, seed=1, scale=1.0),
+            JobSpec.make("table1", "combo", {"x": 2}, seed=1, scale=1.0),
+            JobSpec.make("table1", "combo", {"x": 1}, seed=2, scale=1.0),
+            JobSpec.make("table1", "combo", {"x": 1}, seed=1, scale=0.5),
+        ]
+        hashes = {spec.content_hash() for spec in variants}
+        assert base.content_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_captures_current_scale(self):
+        spec = JobSpec.make("table1", "combo", {})
+        assert spec.scale == pytest.approx(float(TINY_SCALE))
+
+    def test_payload_round_trip(self):
+        spec = JobSpec.make(
+            "figure5", "cell", {"size_mb": 4, "kind": "molecular"}, seed=9
+        )
+        clone = JobSpec.from_payload(
+            json.loads(json.dumps(spec.as_payload()))
+        )
+        assert clone == spec
+        assert clone.content_hash() == spec.content_hash()
+
+    def test_rejects_unserialisable_params(self):
+        with pytest.raises(ConfigError):
+            JobSpec.make("table1", "combo", {"bad": object()})
+
+    def test_expand_grid_order_and_count(self):
+        specs = expand_grid(
+            "figure5",
+            "cell",
+            {"size_mb": [1, 2], "assoc": [4, 8]},
+            base={"graph": "A"},
+        )
+        assert len(specs) == 4
+        first = specs[0].params_dict
+        assert first == {"graph": "A", "size_mb": 1, "assoc": 4}
+        # last axis varies fastest, like a nested for loop
+        assert [s.params_dict["assoc"] for s in specs] == [4, 8, 4, 8]
+        assert [s.params_dict["size_mb"] for s in specs] == [1, 1, 2, 2]
+
+    def test_expand_grid_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            expand_grid("table1", "combo", {})
+
+
+# ------------------------------------------------------------------- store
+
+
+class TestResultStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = JobSpec.make("table1", "combo", {"x": 1})
+        job_hash = store.save(spec, {"rates": {"art": 0.5}}, 1.25, attempts=2)
+        assert store.has(job_hash)
+        record = store.load(job_hash)
+        assert record["result"] == {"rates": {"art": 0.5}}
+        assert record["attempts"] == 2
+        assert record["spec"]["experiment"] == "table1"
+
+    def test_no_partial_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = JobSpec.make("table1", "combo", {})
+        store.save(spec, {"ok": True}, 0.0, 1)
+        leftovers = [p for p in store.results_dir.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_completed_subset(self, tmp_path):
+        store = ResultStore(tmp_path)
+        done = JobSpec.make("table1", "combo", {"i": 1})
+        missing = JobSpec.make("table1", "combo", {"i": 2})
+        store.save(done, {}, 0.0, 1)
+        hashes = [done.content_hash(), missing.content_hash()]
+        assert store.completed(hashes) == {done.content_hash()}
+
+    def test_manifest_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.read_manifest() is None
+        specs = [JobSpec.make("table1", "combo", {"i": i}) for i in range(3)]
+        store.write_manifest("table1", specs, {"graph": "A"})
+        manifest = store.read_manifest()
+        assert manifest["campaign"] == "table1"
+        assert [j["hash"] for j in manifest["jobs"]] == [
+            s.content_hash() for s in specs
+        ]
+
+    def test_corrupt_result_is_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = JobSpec.make("table1", "combo", {})
+        job_hash = store.save(spec, {}, 0.0, 1)
+        (store.results_dir / f"{job_hash}.json").write_text("{not json")
+        with pytest.raises(ConfigError, match="corrupt"):
+            store.load(job_hash)
+
+
+# ---------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_every_cli_experiment_is_registered(self):
+        assert experiment_names() == [
+            "table1", "table2", "table4", "table5", "figure5", "figure6",
+        ]
+
+    def test_defaults_match_the_old_cli_ladder(self):
+        expected = {
+            "table1": 500_000,
+            "table2": 300_000,
+            "table4": 150_000,
+            "table5": 300_000,
+            "figure5": 400_000,
+            "figure6": 300_000,
+        }
+        for name, refs in expected.items():
+            assert get_experiment(name).default_refs == refs
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigError, match="unknown experiment"):
+            get_experiment("table9")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ConfigError, match="does not accept"):
+            get_experiment("table1").jobs(refs=1000, graph="A")
+
+    def test_non_positive_refs_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            get_experiment("table1").jobs(refs=-5)
+
+    def test_table1_decomposes_into_eleven_combos(self):
+        specs = get_experiment("table1").jobs(refs=TINY_REFS)
+        assert len(specs) == 11  # 4 alone + 6 pairs + 1 quartet
+        assert specs[0].params_dict["combo"] == ["art"]
+        assert specs[-1].params_dict["combo"] == ["art", "mcf", "ammp", "parser"]
+
+    def test_figure5_decomposes_into_design_size_cells(self):
+        specs = get_experiment("figure5").jobs(refs=TINY_REFS, graph="B")
+        assert len(specs) == 24  # 6 designs x 4 sizes
+        assert all(s.params_dict["graph"] == "B" for s in specs)
+        # series-major, sizes fastest — the serial loop's nesting
+        assert [s.params_dict["size_mb"] for s in specs[:4]] == [1, 2, 4, 8]
+        assert specs[0].params_dict["label"] == "Direct Mapped"
+        assert specs[-1].params_dict["label"] == "Molecular (Randy)"
+
+    def test_whole_experiment_target_gets_single_job(self):
+        specs = get_experiment("table2").jobs(refs=TINY_REFS)
+        assert len(specs) == 1
+        assert specs[0].job == "whole"
+        assert specs[0].params_dict == {"refs_per_app": TINY_REFS}
+
+
+# ------------------------------------------------------------------ runner
+
+
+def _run_table1_campaign(tmp_path, jobs: int, refs: int = 1000, **kwargs):
+    """Run a tiny table1 campaign; returns (outcome, formatted text)."""
+    target = get_experiment("table1")
+    specs = target.jobs(refs=refs)
+    runner = CampaignRunner(
+        ResultStore(tmp_path),
+        CampaignConfig(jobs=jobs, **kwargs.pop("config", {})),
+        **kwargs,
+    )
+    outcome = runner.run(specs, campaign="table1")
+    result = target.assemble_results(specs, outcome.results_in_order())
+    return outcome, result.format()
+
+
+class TestRunner:
+    def test_serial_matches_direct_run(self, tmp_path):
+        from repro.sim.experiments.table1 import run_table1
+
+        _, campaign_text = _run_table1_campaign(tmp_path, jobs=1)
+        assert campaign_text == run_table1(refs_per_app=1000).format()
+
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path):
+        _, serial_text = _run_table1_campaign(tmp_path / "serial", jobs=1)
+        parallel, parallel_text = _run_table1_campaign(
+            tmp_path / "parallel", jobs=2
+        )
+        assert parallel.mode in ("pool", "serial-fallback")
+        assert parallel_text == serial_text
+
+    def test_identical_rerun_is_pure_cache_hit(self, tmp_path):
+        first, text1 = _run_table1_campaign(tmp_path, jobs=1)
+        second, text2 = _run_table1_campaign(tmp_path, jobs=1)
+        assert first.executed == 11 and not first.cached
+        assert second.executed == 0 and len(second.cached) == 11
+        assert text1 == text2
+
+    def test_resume_false_reruns_everything(self, tmp_path):
+        _run_table1_campaign(tmp_path, jobs=1)
+        rerun, _ = _run_table1_campaign(
+            tmp_path, jobs=1, config={"resume": False}
+        )
+        assert rerun.executed == 11 and not rerun.cached
+
+    def test_resume_after_injected_crash_runs_only_the_rest(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance scenario: kill after N jobs, restart, finish."""
+
+        class Crash(RuntimeError):
+            pass
+
+        def kill_after_three(persisted: int) -> None:
+            if persisted >= 3:
+                raise Crash(f"injected crash after {persisted} jobs")
+
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)
+        store = ResultStore(tmp_path)
+        runner = CampaignRunner(
+            store, CampaignConfig(jobs=1), fault_hook=kill_after_three
+        )
+        with pytest.raises(Crash):
+            runner.run(specs, campaign="table1")
+        done = store.completed([s.content_hash() for s in specs])
+        assert len(done) == 3  # durable progress survived the crash
+
+        executed: list[str] = []
+        import repro.campaign.runner as runner_mod
+
+        original = runner_mod.execute_spec
+
+        def counting(payload):
+            executed.append(payload["params"].get("combo") and
+                            "+".join(payload["params"]["combo"]))
+            return original(payload)
+
+        monkeypatch.setattr(runner_mod, "execute_spec", counting)
+        resumed = CampaignRunner(store, CampaignConfig(jobs=1)).run(
+            specs, campaign="table1"
+        )
+        assert len(executed) == len(specs) - 3  # only the unfinished jobs
+        assert resumed.executed == len(specs) - 3
+        assert len(resumed.cached) == 3
+
+        # ...and the final result equals an uninterrupted run.
+        resumed_text = target.assemble_results(
+            specs, resumed.results_in_order()
+        ).format()
+        _, clean_text = _run_table1_campaign(tmp_path / "clean", jobs=1)
+        assert resumed_text == clean_text
+
+    def test_transient_failures_are_retried_with_bounded_budget(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.campaign.runner as runner_mod
+
+        attempts: dict[str, int] = {}
+        original = runner_mod.execute_spec
+
+        def flaky(payload):
+            key = json.dumps(payload["params"], sort_keys=True)
+            attempts[key] = attempts.get(key, 0) + 1
+            if attempts[key] == 1:
+                raise OSError("simulated transient worker failure")
+            return original(payload)
+
+        monkeypatch.setattr(runner_mod, "execute_spec", flaky)
+        outcome, _ = _run_table1_campaign(
+            tmp_path, jobs=1, config={"retries": 2, "backoff": 0.0}
+        )
+        assert outcome.retried == 11  # each job failed once, then passed
+        assert outcome.executed == 11
+
+    def test_retries_exhausted_raise_campaign_error(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.campaign.runner as runner_mod
+
+        def always_broken(payload):
+            raise OSError("permanently broken")
+
+        monkeypatch.setattr(runner_mod, "execute_spec", always_broken)
+        with pytest.raises(CampaignError, match="failed after"):
+            _run_table1_campaign(
+                tmp_path, jobs=1, config={"retries": 1, "backoff": 0.0}
+            )
+
+    def test_config_errors_are_not_retried(self, tmp_path, monkeypatch):
+        import repro.campaign.runner as runner_mod
+
+        calls = {"n": 0}
+
+        def misconfigured(payload):
+            calls["n"] += 1
+            raise ConfigError("deterministically bad")
+
+        monkeypatch.setattr(runner_mod, "execute_spec", misconfigured)
+        with pytest.raises(CampaignError, match="misconfigured"):
+            _run_table1_campaign(tmp_path, jobs=1, config={"retries": 5})
+        assert calls["n"] == 1
+
+    def test_empty_spec_list_rejected(self, tmp_path):
+        runner = CampaignRunner(ResultStore(tmp_path))
+        with pytest.raises(ConfigError):
+            runner.run([], campaign="empty")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(jobs=-1)
+        with pytest.raises(ConfigError):
+            CampaignConfig(timeout=0)
+        with pytest.raises(ConfigError):
+            CampaignConfig(retries=-1)
+        assert CampaignConfig(jobs=0).jobs >= 1  # 0 = auto
+
+    def test_execute_spec_pins_the_captured_scale(self, monkeypatch):
+        """A whole-experiment job must run at its spec's scale even if the
+        environment changed between decompose and execution."""
+        spec = get_experiment("table2").jobs(refs=TINY_REFS)[0]
+        assert spec.scale == pytest.approx(float(TINY_SCALE))
+        monkeypatch.setenv("REPRO_SCALE", "777")  # would be minutes of work
+        seen: dict[str, float] = {}
+
+        import repro.campaign.registry as registry_mod
+
+        def probe(inner_spec):
+            from repro.sim.scale import scale_factor
+
+            seen["scale"] = scale_factor()
+            return {"formatted": "stub"}
+
+        monkeypatch.setattr(registry_mod, "execute_job", probe)
+        execute_spec(spec.as_payload())
+        assert seen["scale"] == pytest.approx(float(TINY_SCALE))
+        from repro.sim.scale import scale_factor
+
+        assert scale_factor() == 777  # environment restored afterwards
+
+
+# --------------------------------------------------------------- telemetry
+
+
+class TestCampaignTelemetry:
+    def test_lifecycle_events_flow_through_the_bus(self, tmp_path):
+        sink = RingBufferSink()
+        bus = EventBus([sink], epoch_refs=0)
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)
+        CampaignRunner(
+            ResultStore(tmp_path), CampaignConfig(jobs=1), telemetry=bus
+        ).run(specs, campaign="table1")
+        events = sink.events()
+        submitted = [e for e in events if isinstance(e, JobSubmitted)]
+        started = [e for e in events if isinstance(e, JobStarted)]
+        completed = [e for e in events if isinstance(e, JobCompleted)]
+        assert len(submitted) == len(specs)
+        assert len(started) == len(specs)
+        assert len(completed) == len(specs)
+        assert all(not e.cached for e in completed)
+        assert {e.job for e in completed} == {
+            s.content_hash() for s in specs
+        }
+
+        # resumed campaign: completions arrive flagged as cached
+        sink.clear()
+        CampaignRunner(
+            ResultStore(tmp_path), CampaignConfig(jobs=1), telemetry=bus
+        ).run(specs, campaign="table1")
+        completed = [e for e in sink.events() if isinstance(e, JobCompleted)]
+        assert len(completed) == len(specs)
+        assert all(e.cached for e in completed)
+
+    def test_retry_event_emitted(self, tmp_path, monkeypatch):
+        import repro.campaign.runner as runner_mod
+
+        original = runner_mod.execute_spec
+        state = {"failed": False}
+
+        def fail_once(payload):
+            if not state["failed"]:
+                state["failed"] = True
+                raise OSError("flaky")
+            return original(payload)
+
+        monkeypatch.setattr(runner_mod, "execute_spec", fail_once)
+        sink = RingBufferSink()
+        bus = EventBus([sink], epoch_refs=0)
+        _run_table1_campaign(
+            tmp_path, jobs=1, telemetry=bus,
+            config={"retries": 1, "backoff": 0.0},
+        )
+        retried = [e for e in sink.events() if isinstance(e, JobRetried)]
+        assert len(retried) == 1
+        assert retried[0].attempt == 2
+        assert "flaky" in retried[0].error
+
+    def test_job_events_round_trip_as_json(self):
+        event = JobCompleted(
+            campaign="table1", job="abc123", index=4,
+            attempts=2, elapsed=1.5, cached=False,
+        )
+        clone = event_from_dict(json.loads(json.dumps(event.as_dict())))
+        assert clone == event

@@ -26,6 +26,20 @@ class TestParseSize:
         with pytest.raises(ConfigError):
             parse_size("lots")
 
+    def test_rejects_negative(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="positive"):
+            parse_size("-4MB")
+
+    def test_rejects_zero(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="positive"):
+            parse_size("0")
+        with pytest.raises(ConfigError, match="positive"):
+            parse_size("0.4")  # rounds down to zero bytes
+
 
 class TestCommands:
     def test_models(self, capsys):
@@ -85,6 +99,40 @@ class TestCommands:
         assert "Figure 5 graph B" in out
         assert "Molecular (Randy)" in out
         assert "*=" in out  # the chart legend
+
+    def test_simulate_rejects_negative_size(self, capsys):
+        code = main(
+            ["simulate", "--size=-4MB", "--refs", "1000",
+             "--workloads", "ammp"]
+        )
+        assert code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_sweep_matches_experiment_byte_for_byte(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert main(["experiment", "table1", "--refs", "1000"]) == 0
+        serial_out = capsys.readouterr().out
+
+        out_dir = str(tmp_path / "campaign")
+        code = main(
+            ["sweep", "table1", "--jobs", "1", "--refs", "1000",
+             "--out", out_dir]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial_out  # stdout is byte-identical
+        assert "11 jobs" in captured.err
+
+        # identical re-run with --resume: a pure cache hit
+        assert main(
+            ["sweep", "table1", "--jobs", "1", "--refs", "1000",
+             "--out", out_dir, "--resume"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial_out
+        assert "11 cached" in captured.err
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
