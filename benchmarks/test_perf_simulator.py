@@ -6,9 +6,13 @@ layer — with proper multi-round statistics. Useful for catching
 performance regressions in the hot paths.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
+from conftest import emit
 from repro.caches.setassoc import SetAssociativeCache
 from repro.common.rng import XorShift64
 from repro.analysis.reuse import StackDistanceAnalyzer
@@ -17,6 +21,14 @@ from repro.workloads import spec_model
 
 N_REFS = 50_000
 
+#: Relative floor for the batched engine over the scalar reference path,
+#: and an absolute throughput floor (refs/s) as a CI smoke guard. Both
+#: overridable by environment for unusual hardware.
+MIN_BATCHED_SPEEDUP = float(os.environ.get("REPRO_MIN_BATCHED_SPEEDUP", "2.0"))
+MIN_BATCHED_THROUGHPUT = float(
+    os.environ.get("REPRO_MIN_BATCHED_THROUGHPUT", "100000")
+)
+
 
 @pytest.fixture(scope="module")
 def blocks():
@@ -24,7 +36,34 @@ def blocks():
     return rng.integers(0, 1 << 14, size=N_REFS).tolist()
 
 
+def _molecular_config():
+    return MolecularCacheConfig.for_total_size(
+        1 << 20, clusters=1, tiles_per_cluster=4, strict=False
+    )
+
+
+def _molecular_cache(config):
+    cache = MolecularCache(
+        config,
+        resize_policy=ResizePolicy(),
+        rng=XorShift64(5),
+    )
+    cache.assign_application(0, goal=0.2, tile_id=0)
+    return cache
+
+
 def test_perf_setassoc_access(benchmark, blocks):
+    def run():
+        cache = SetAssociativeCache(1 << 20, 4)
+        cache.access_many(blocks)
+        return cache.stats.total.accesses
+
+    assert benchmark(run) == N_REFS
+
+
+def test_perf_setassoc_access_scalar(benchmark, blocks):
+    """Scalar reference path (kept for before/after comparisons)."""
+
     def run():
         cache = SetAssociativeCache(1 << 20, 4)
         access = cache.access_block
@@ -36,23 +75,81 @@ def test_perf_setassoc_access(benchmark, blocks):
 
 
 def test_perf_molecular_access(benchmark, blocks):
-    config = MolecularCacheConfig.for_total_size(
-        1 << 20, clusters=1, tiles_per_cluster=4, strict=False
-    )
+    config = _molecular_config()
 
     def run():
-        cache = MolecularCache(
-            config,
-            resize_policy=ResizePolicy(),
-            rng=XorShift64(5),
-        )
-        cache.assign_application(0, goal=0.2, tile_id=0)
+        cache = _molecular_cache(config)
+        cache.access_many(blocks, 0)
+        return cache.stats.total.accesses
+
+    assert benchmark(run) == N_REFS
+
+
+def test_perf_molecular_access_scalar(benchmark, blocks):
+    """Scalar reference path (kept for before/after comparisons)."""
+    config = _molecular_config()
+
+    def run():
+        cache = _molecular_cache(config)
         access = cache.access_block
         for block in blocks:
             access(block, 0)
         return cache.stats.total.accesses
 
     assert benchmark(run) == N_REFS
+
+
+def test_molecular_batched_speedup(blocks):
+    """Guard: the batched engine must beat the scalar path by >= 2x.
+
+    Plain min-of-three wall timing (no benchmark fixture) so the guard
+    also runs under ``--benchmark-disable`` in the CI perf smoke.
+    """
+    config = _molecular_config()
+
+    def timed(run) -> float:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            assert run() == N_REFS
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def scalar_run():
+        cache = _molecular_cache(config)
+        access = cache.access_block
+        for block in blocks:
+            access(block, 0)
+        return cache.stats.total.accesses
+
+    def batched_run():
+        cache = _molecular_cache(config)
+        cache.access_many(blocks, 0)
+        return cache.stats.total.accesses
+
+    scalar_s = timed(scalar_run)
+    batched_s = timed(batched_run)
+    speedup = scalar_s / batched_s
+    throughput = N_REFS / batched_s
+    emit(
+        "perf_batched_engine",
+        "Batched access engine vs scalar reference "
+        f"({N_REFS} refs, molecular 1MB/4-tile)\n"
+        f"  scalar access_block : {scalar_s:.3f}s "
+        f"({N_REFS / scalar_s:,.0f} refs/s)\n"
+        f"  batched access_many : {batched_s:.3f}s "
+        f"({throughput:,.0f} refs/s)\n"
+        f"  speedup             : {speedup:.2f}x "
+        f"(floor {MIN_BATCHED_SPEEDUP:.1f}x)",
+    )
+    assert speedup >= MIN_BATCHED_SPEEDUP, (
+        f"batched engine only {speedup:.2f}x over scalar "
+        f"(floor {MIN_BATCHED_SPEEDUP:.1f}x)"
+    )
+    assert throughput >= MIN_BATCHED_THROUGHPUT, (
+        f"batched throughput {throughput:,.0f} refs/s below floor "
+        f"{MIN_BATCHED_THROUGHPUT:,.0f}"
+    )
 
 
 def test_perf_trace_generation(benchmark):

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from itertools import repeat
 
+import numpy as np
+
 from repro.caches.line import CacheLine
 from repro.caches.replacement import ReplacementPolicy, make_replacement_policy
 from repro.caches.stats import CacheStats
@@ -130,6 +132,76 @@ class SetAssociativeCache:
         cache_set[block] = CacheLine(block=block, asid=asid, dirty=write)
         return AccessResult(hit=False, evicted_block=evicted_block, writeback=writeback)
 
+    def access_many(self, blocks, asids=0, writes=False) -> int:
+        """Batched fast path mirroring the molecular engine's contract.
+
+        Streams a whole reference array with the per-ASID stat counters
+        resolved once per ASID run instead of per access, and without
+        constructing an :class:`AccessResult` per reference. Stats are
+        byte-identical to calling :meth:`access_block` per element
+        (``tests/test_prop_batched.py`` checks the equivalence).
+        Returns the number of accesses simulated.
+        """
+        if isinstance(blocks, np.ndarray):
+            blocks = blocks.tolist()
+        n = len(blocks)
+        asid_iter = (
+            asids.tolist() if isinstance(asids, np.ndarray)
+            else asids if isinstance(asids, (list, tuple))
+            else repeat(asids)
+        )
+        write_iter = (
+            writes.tolist() if isinstance(writes, np.ndarray)
+            else writes if isinstance(writes, (list, tuple))
+            else repeat(writes)
+        )
+        stats = self.stats
+        tot = stats.total
+        wtot = stats.window_total
+        sets = self._sets
+        mask = self._set_mask
+        policy = self._policy
+        touch = policy.touch
+        associativity = self.associativity
+        counters_for = stats.counters_for
+        cur_asid: int | None = None
+        tc = wc = None
+        for block, asid, write in zip(blocks, asid_iter, write_iter):
+            if asid != cur_asid:
+                tc, wc = counters_for(asid)
+                cur_asid = asid
+            cache_set = sets[block & mask]
+            line = cache_set.get(block)
+            tot.accesses += 1
+            wtot.accesses += 1
+            tc.accesses += 1
+            wc.accesses += 1
+            if line is not None:
+                tot.hits += 1
+                wtot.hits += 1
+                tc.hits += 1
+                wc.hits += 1
+                touch(cache_set, block)
+                if write:
+                    line.dirty = True
+                continue
+            if len(cache_set) >= associativity:
+                evicted_block = policy.victim(cache_set)
+                victim_line = cache_set.pop(evicted_block)
+                stats.record_eviction(victim_line.asid, victim_line.dirty)
+            cache_set[block] = CacheLine(block=block, asid=asid, dirty=write)
+        return n
+
+    def access_session(self) -> "_SetAssocSession":
+        """Allocation-free per-access session (``access(...) -> bool``).
+
+        The set-associative twin of the molecular cache's session: the
+        same stats updates as :meth:`access_block` without the
+        ``AccessResult``, for feedback drivers that interleave
+        applications one reference at a time.
+        """
+        return _SetAssocSession(self)
+
     def run(self, blocks, asids=None, writes=None) -> CacheStats:
         """Feed an iterable of block numbers through the cache.
 
@@ -192,3 +264,49 @@ class SetAssociativeCache:
             f"assoc={self.associativity}, line={self.line_bytes}, "
             f"policy={self._policy.name})"
         )
+
+
+class _SetAssocSession:
+    """Per-access fast path bound to one :class:`SetAssociativeCache`."""
+
+    __slots__ = ("_cache", "_counters")
+
+    def __init__(self, cache: SetAssociativeCache) -> None:
+        self._cache = cache
+        # (cumulative, window) counter pairs per ASID. Valid for the
+        # session's lifetime: set-associative windows are only reset by
+        # external callers, and the contract (as for the molecular
+        # session) is that stats are not reset while a session is live.
+        self._counters: dict[int, tuple] = {}
+
+    def access(self, block: int, asid: int = 0, write: bool = False) -> bool:
+        cache = self._cache
+        stats = cache.stats
+        pair = self._counters.get(asid)
+        if pair is None:
+            pair = stats.counters_for(asid)
+            self._counters[asid] = pair
+        tc, wc = pair
+        tot = stats.total
+        wtot = stats.window_total
+        cache_set = cache._sets[block & cache._set_mask]
+        line = cache_set.get(block)
+        tot.accesses += 1
+        wtot.accesses += 1
+        tc.accesses += 1
+        wc.accesses += 1
+        if line is not None:
+            tot.hits += 1
+            wtot.hits += 1
+            tc.hits += 1
+            wc.hits += 1
+            cache._policy.touch(cache_set, block)
+            if write:
+                line.dirty = True
+            return True
+        if len(cache_set) >= cache.associativity:
+            evicted_block = cache._policy.victim(cache_set)
+            victim_line = cache_set.pop(evicted_block)
+            stats.record_eviction(victim_line.asid, victim_line.dirty)
+        cache_set[block] = CacheLine(block=block, asid=asid, dirty=write)
+        return False

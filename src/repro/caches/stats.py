@@ -67,6 +67,21 @@ class CacheStats:
             table[asid] = counters
         return counters
 
+    def counters_for(self, asid: int) -> tuple[AsidCounters, AsidCounters]:
+        """The (cumulative, window) counter objects for one ASID.
+
+        Creates them on first use exactly like :meth:`record_access`
+        would, so batched engines can hold direct references and bump
+        attributes without per-access dictionary lookups. The references
+        go stale when a window reset replaces the counter tables —
+        callers must re-fetch after any reset (the molecular engine keys
+        this on its context epoch).
+        """
+        return (
+            self._counters_for(self.per_asid, asid),
+            self._counters_for(self.window_per_asid, asid),
+        )
+
     def record_access(self, asid: int, hit: bool) -> None:
         for total, table in (
             (self.total, self.per_asid),

@@ -5,9 +5,11 @@ and produces one result payload per spec, in spec order, persisting each
 to the :class:`~repro.campaign.store.ResultStore` the moment it
 completes. Execution modes:
 
-* ``jobs > 1`` — a ``ProcessPoolExecutor`` with a sliding submission
-  window (at most ``jobs`` in flight, so the per-job timeout measures
-  *running* time, not queue time);
+* ``jobs > 1`` — a ``ProcessPoolExecutor`` (capped at the core count)
+  with a sliding submission window; jobs travel in *chunks* of several
+  specs per submission so short jobs amortise pickling/IPC and worker
+  start-up across warm workers, and the per-chunk timeout scales with
+  chunk length (``timeout`` stays a per-job bound);
 * ``jobs <= 1`` — in-process serial execution, no pool;
 * **fallback** — if the pool cannot be created or keeps breaking (some
   sandboxes forbid the semaphores ``multiprocessing`` needs), the
@@ -94,6 +96,28 @@ def execute_spec(payload: dict[str, Any]) -> dict[str, Any]:
     with _scale_env(spec.scale):
         result = execute_job(spec)
     return {"result": result, "elapsed": time.perf_counter() - start}
+
+
+def execute_chunk(payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Worker entry point: run several jobs in one pool submission.
+
+    Short jobs are dominated by per-submission pickling/IPC and by cold
+    worker start-up, so the pool dispatcher parcels them into chunks and
+    each warm worker burns through a parcel at in-process speed. One
+    outcome dict is returned per payload, in order; a failing job yields
+    ``{"error": exception}`` instead of aborting its chunk-mates, and the
+    dispatcher requeues it as a singleton so retry accounting stays per
+    spec.
+    """
+    outcomes: list[dict[str, Any]] = []
+    for payload in payloads:
+        try:
+            outcomes.append(execute_spec(payload))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as error:
+            outcomes.append({"error": error})
+    return outcomes
 
 
 @dataclass(slots=True)
@@ -308,7 +332,11 @@ class CampaignRunner:
     def _run_pool(
         self, result: CampaignResult, pending: list[tuple[int, JobSpec]]
     ) -> None:
-        workers = min(self.config.jobs, len(pending))
+        # Never spawn more workers than cores: oversubscribed process
+        # pools lose to serial execution outright on few-core machines
+        # (start-up cost per worker, then contention).
+        cores = os.cpu_count() or self.config.jobs
+        workers = max(1, min(self.config.jobs, len(pending), cores))
         try:
             pool = ProcessPoolExecutor(max_workers=workers)
         except Exception as error:  # pool unavailable: sandboxed env etc.
@@ -321,38 +349,56 @@ class CampaignRunner:
             self._run_serial(result, pending)
             return
 
-        queue: deque[tuple[int, JobSpec, int]] = deque(
-            (index, spec, 1) for index, spec in pending
+        # Parcel the jobs into chunks — about four per worker, so load
+        # stays balanced while per-submission overhead amortises across
+        # the chunk. Requeued work (retries, timeouts) travels as
+        # singleton chunks to keep attribution per spec.
+        chunk_size = max(1, len(pending) // (workers * 4))
+        items = [(index, spec, 1) for index, spec in pending]
+        queue: deque[list[tuple[int, JobSpec, int]]] = deque(
+            items[start : start + chunk_size]
+            for start in range(0, len(items), chunk_size)
         )
-        active: dict[Any, tuple[int, JobSpec, int, float]] = {}
+        active: dict[Any, tuple[list[tuple[int, JobSpec, int]], float]] = {}
         pool_breaks = 0
+
+        def requeue_active() -> None:
+            for other_chunk, _t in active.values():
+                queue.append(other_chunk)
+            active.clear()
+
         try:
             while queue or active:
                 while queue and len(active) < workers:
-                    index, spec, attempt = queue.popleft()
-                    future = pool.submit(execute_spec, spec.as_payload())
-                    active[future] = (index, spec, attempt, time.monotonic())
-                    self._emit(
-                        JobStarted(
-                            campaign=result.campaign,
-                            job=spec.content_hash(),
-                            index=index,
-                            attempt=attempt,
-                        )
+                    chunk = queue.popleft()
+                    future = pool.submit(
+                        execute_chunk,
+                        [spec.as_payload() for _i, spec, _a in chunk],
                     )
+                    active[future] = (chunk, time.monotonic())
+                    for index, spec, attempt in chunk:
+                        self._emit(
+                            JobStarted(
+                                campaign=result.campaign,
+                                job=spec.content_hash(),
+                                index=index,
+                                attempt=attempt,
+                            )
+                        )
                 done, _ = wait(
                     set(active), timeout=_POLL_INTERVAL,
                     return_when=FIRST_COMPLETED,
                 )
                 broken = False
                 for future in done:
-                    index, spec, attempt, _t0 = active.pop(future)
+                    chunk, _t0 = active.pop(future)
                     try:
-                        outcome = future.result()
+                        outcomes = future.result()
                     except (BrokenProcessPool, OSError) as error:
-                        # The pool died under us; every in-flight job is
-                        # lost. Requeue them all, charge the surfacing
-                        # job one attempt, and rebuild the pool.
+                        # The pool died under us; every in-flight chunk
+                        # is lost. Requeue them all, charge the first
+                        # job of the surfacing chunk one attempt, and
+                        # rebuild the pool.
                         pool_breaks += 1
                         if pool_breaks > self.config.retries + 1:
                             print(
@@ -360,59 +406,84 @@ class CampaignRunner:
                                 "falling back to serial execution",
                                 file=sys.stderr,
                             )
-                            queue.appendleft((index, spec, attempt))
-                            for i, s, a, _t in active.values():
-                                queue.append((i, s, a))
-                            active.clear()
+                            queue.appendleft(chunk)
+                            requeue_active()
                             pool.shutdown(wait=False, cancel_futures=True)
                             result.mode = "serial-fallback"
-                            self._run_serial(result, list(
-                                (i, s) for i, s, _a in queue
-                            ))
+                            self._run_serial(result, [
+                                (i, s)
+                                for queued in queue
+                                for i, s, _a in queued
+                            ])
                             return
-                        attempt = self._next_attempt(
-                            result, index, spec, attempt, error
+                        index, spec, attempt = chunk[0]
+                        chunk[0] = (
+                            index, spec,
+                            self._next_attempt(
+                                result, index, spec, attempt, error
+                            ),
                         )
-                        queue.appendleft((index, spec, attempt))
-                        for i, s, a, _t in active.values():
-                            queue.append((i, s, a))
-                        active.clear()
+                        queue.appendleft(chunk)
+                        requeue_active()
                         pool.shutdown(wait=False, cancel_futures=True)
                         pool = ProcessPoolExecutor(max_workers=workers)
                         broken = True
                         break
                     except Exception as error:
+                        # The chunk call itself failed (e.g. an outcome
+                        # that would not pickle); isolate its specs and
+                        # charge the first one the attempt.
+                        index, spec, attempt = chunk[0]
                         attempt = self._next_attempt(
                             result, index, spec, attempt, error
                         )
-                        queue.append((index, spec, attempt))
+                        queue.append([(index, spec, attempt)])
+                        for index, spec, attempt in chunk[1:]:
+                            queue.append([(index, spec, attempt)])
                     else:
-                        self._persist(result, index, spec, outcome, attempt)
+                        for (index, spec, attempt), outcome in zip(
+                            chunk, outcomes
+                        ):
+                            error = outcome.get("error")
+                            if error is not None:
+                                attempt = self._next_attempt(
+                                    result, index, spec, attempt, error
+                                )
+                                queue.append([(index, spec, attempt)])
+                            else:
+                                self._persist(
+                                    result, index, spec, outcome, attempt
+                                )
                 if broken:
                     continue
                 if self.config.timeout is not None and active:
+                    # The budget scales with chunk length: ``timeout``
+                    # stays a *per-job* bound, as in serial mode.
                     now = time.monotonic()
                     expired = [
                         future
-                        for future, (_i, _s, _a, t0) in active.items()
-                        if now - t0 > self.config.timeout
+                        for future, (queued, t0) in active.items()
+                        if now - t0 > self.config.timeout * len(queued)
                     ]
                     if expired:
-                        # A stuck worker cannot be cancelled individually:
-                        # tear the pool down, requeue survivors unchanged
-                        # and the expired jobs with one attempt charged.
+                        # A stuck worker cannot be cancelled
+                        # individually: tear the pool down, requeue
+                        # survivors unchanged and the expired chunk's
+                        # jobs as singletons with one attempt charged —
+                        # the true offender then times out alone on the
+                        # next round.
                         for future in expired:
-                            index, spec, attempt, _t0 = active.pop(future)
-                            attempt = self._next_attempt(
-                                result, index, spec, attempt,
-                                TimeoutError(
-                                    f"exceeded {self.config.timeout:.1f}s"
-                                ),
-                            )
-                            queue.append((index, spec, attempt))
-                        for i, s, a, _t in active.values():
-                            queue.append((i, s, a))
-                        active.clear()
+                            chunk, _t0 = active.pop(future)
+                            for index, spec, attempt in chunk:
+                                attempt = self._next_attempt(
+                                    result, index, spec, attempt,
+                                    TimeoutError(
+                                        f"exceeded "
+                                        f"{self.config.timeout:.1f}s/job"
+                                    ),
+                                )
+                                queue.append([(index, spec, attempt)])
+                        requeue_active()
                         pool.shutdown(wait=False, cancel_futures=True)
                         pool = ProcessPoolExecutor(max_workers=workers)
         finally:

@@ -119,6 +119,12 @@ class MolecularCache:
         #: Attached telemetry bus, or None. The access loop's only
         #: telemetry cost when disabled is the ``is None`` check on this.
         self.telemetry = None
+        #: Context epoch for the batched access engine: bumped by every
+        #: cache-level event that can invalidate a cached per-region
+        #: access context (region assignment, shared-region creation,
+        #: migration, resize fires). Per-region membership changes are
+        #: tracked separately by ``CacheRegion.version``.
+        self._ctx_epoch = 0
 
     # ----------------------------------------------------------- telemetry
 
@@ -238,6 +244,7 @@ class MolecularCache:
             region.add_molecule(molecule, self.placement.initial_row_index(region))
         self.regions[asid] = region
         self.resizer.register_region(region)
+        self._ctx_epoch += 1
         return region
 
     def create_shared_region(self, tile_id: int, molecules: int) -> CacheRegion:
@@ -263,6 +270,7 @@ class MolecularCache:
         for molecule in granted:
             region.add_molecule(molecule, self.placement.initial_row_index(region))
         self._shared_regions[tile_id] = region
+        self._ctx_epoch += 1
         return region
 
     def assign_shared_application(self, asid: int, tile_id: int) -> CacheRegion:
@@ -274,6 +282,7 @@ class MolecularCache:
         if shared is None:
             raise ConfigError(f"tile {tile_id} has no shared region")
         self.regions[asid] = shared
+        self._ctx_epoch += 1
         return shared
 
     def region_of(self, asid: int) -> CacheRegion:
@@ -304,7 +313,8 @@ class MolecularCache:
                 f"({old_cluster} -> {new_tile.cluster_id})"
             )
         region.home_tile_id = new_tile_id
-        region._tile_order = None  # re-derive the Ulmo search order
+        region.invalidate_search_order()
+        self._ctx_epoch += 1
 
     # -------------------------------------------------------------- access
 
@@ -313,8 +323,43 @@ class MolecularCache:
             access.address >> self._line_shift, access.asid, access.is_write
         )
 
+    def access_many(self, blocks, asids=0, writes=False) -> int:
+        """Batched fast path: stream a whole reference array.
+
+        ``blocks`` is a sequence of block numbers (numpy array, list or
+        tuple); ``asids``/``writes`` are parallel sequences or scalars
+        broadcast to every reference. Returns the number of accesses
+        simulated; cumulative results live in :attr:`stats` exactly as
+        if each reference had gone through :meth:`access_block` — the
+        engine is byte-identical to the scalar path for stats, resize
+        decisions and telemetry streams (see
+        :mod:`repro.molecular.engine`).
+        """
+        from repro.molecular.engine import AccessEngine
+
+        return AccessEngine(self).stream(blocks, asids, writes)
+
+    def access_session(self):
+        """An allocation-free per-access session for feedback drivers.
+
+        Returns an :class:`~repro.molecular.engine.AccessEngine` whose
+        ``access(block, asid, write) -> bool`` skips ``AccessResult``
+        construction while keeping stats/telemetry byte-identical to
+        :meth:`access_block`. The session caches per-region contexts, so
+        do not reset :attr:`stats` while one is live — build a new
+        session instead.
+        """
+        from repro.molecular.engine import AccessEngine
+
+        return AccessEngine(self)
+
     def access_block(self, block: int, asid: int = 0, write: bool = False) -> AccessResult:
-        """Simulate one reference; returns hit/miss plus probe counts."""
+        """Simulate one reference; returns hit/miss plus probe counts.
+
+        This is the scalar *reference implementation*: the batched
+        engine behind :meth:`access_many` must stay byte-identical to
+        it (``tests/test_prop_batched.py`` enforces the equivalence).
+        """
         region = self.regions.get(asid)
         if region is None:
             raise UnknownASIDError(asid)

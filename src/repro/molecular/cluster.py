@@ -34,6 +34,8 @@ class UlmoStats:
 class Ulmo:
     """The per-cluster controller (global miss handler + allocator)."""
 
+    __slots__ = ("cluster", "stats")
+
     def __init__(self, cluster: "TileCluster") -> None:
         self.cluster = cluster
         self.stats = UlmoStats()
@@ -85,6 +87,8 @@ class Ulmo:
 
 class TileCluster:
     """A group of tiles managed by one Ulmo."""
+
+    __slots__ = ("cluster_id", "tiles", "ulmo", "_tiles_by_id")
 
     def __init__(
         self,

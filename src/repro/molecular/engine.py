@@ -1,0 +1,567 @@
+"""Batched access engine: the molecular cache's streaming hot path.
+
+Every paper artifact is millions of ``access_block`` calls, and the
+scalar path redoes invariant work on each one: the region/tile/shared
+dictionary lookups, the probe-count recomputation, an
+:class:`~repro.common.types.AccessResult` allocation (plus its ``extra``
+dict), a latency-model call and a resizer hook call. All of that is
+per-*region* state that only changes at resize, migration or
+shared-region events — so this module hoists it into an immutable
+:class:`AccessContext` and streams whole trace arrays through a loop
+whose steady state is local-variable arithmetic plus the presence-map
+lookup.
+
+Equivalence contract
+--------------------
+The engine is an *optimisation*, never a semantic fork: for any access
+sequence the resulting stats dicts, telemetry event streams, resize
+decisions and occupancy reports are byte-identical to replaying the same
+sequence through the scalar ``MolecularCache.access_block`` (the
+retained reference implementation). ``tests/test_prop_batched.py``
+asserts this property over randomized traces. Concretely:
+
+* every counter the scalar path touches is updated per access (through
+  cached references, not method calls), so mid-stream observers — the
+  resize trigger, telemetry epoch rollovers, warm-up snapshots — see
+  exactly the values they would have seen;
+* the resize trigger is inlined (two integer compares) and fires the
+  same ``Resizer`` methods at the same access counts;
+* when a telemetry bus is attached the engine builds the same
+  ``AccessResult`` the scalar path would and feeds
+  ``bus.record_access`` per access; with no bus attached no result
+  object is ever constructed.
+
+Context invalidation
+--------------------
+A context is valid while both hold:
+
+* ``region.version`` is unchanged — bumped by
+  :meth:`~repro.molecular.region.CacheRegion.invalidate_search_order`
+  on every molecule grant/withdrawal and home-tile migration;
+* the cache's ``_ctx_epoch`` is unchanged — bumped by region
+  assignment, shared-region creation, migration, and by this engine
+  after any resize fires (a global resize can reset stats windows of
+  regions whose membership did not change).
+
+Within one :meth:`AccessEngine.stream` call only the engine itself can
+trigger invalidation (resize fires), which it detects directly; the
+version checks guard the persistent per-access :meth:`AccessEngine.access`
+session path used by :class:`~repro.sim.cmp.CMPRunner`.
+
+A custom :class:`~repro.molecular.latency.LatencyModel` subclass (one
+that overrides ``cycles``) disables the precomputed cycle constants and
+drops the whole stream to the scalar reference path — correctness first.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+
+import numpy as np
+
+from repro.common.errors import ConfigError, UnknownASIDError
+from repro.common.types import AccessResult
+from repro.molecular.latency import LatencyModel
+from repro.molecular.placement import PlacementPolicy
+
+
+def _as_scalar_sequence(values, n, name):
+    """Normalise a column to (list | None, scalar) for the stream loop.
+
+    Returns ``(per_ref_list, broadcast_scalar)`` — exactly one of the two
+    is meaningful. Numpy arrays are converted once with ``tolist()``
+    (plain ints iterate and hash faster than numpy scalars in a pure
+    Python loop); lists/tuples pass through unchanged.
+    """
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1:
+            raise ConfigError(f"{name} must be one-dimensional")
+        values = values.tolist()
+    if isinstance(values, (list, tuple)):
+        if len(values) != n:
+            raise ConfigError(
+                f"{name} length {len(values)} != {n} blocks"
+            )
+        return values, None
+    return None, values
+
+
+class AccessContext:
+    """Immutable per-region snapshot of every invariant an access needs.
+
+    Built once per (engine, asid) and reused until a resize, migration
+    or shared-region event invalidates it. All fields are plain
+    attributes so the hot loop reads them without method calls.
+    """
+
+    __slots__ = (
+        "asid",
+        "region",
+        "region_version",
+        "cache_epoch",
+        "home_tile",
+        "home_tile_id",
+        "home_comparisons",
+        "local_probes",
+        "region_lookup",
+        "shared_lookup",
+        "remote_stop",
+        "remote_full",
+        "has_remote",
+        "ulmo_stats",
+        "molecule_count",
+        "line_multiplier",
+        "hit_cycles",
+        "miss_cycles",
+        "dispatch_cycles",
+        "per_tile_cycles",
+        "total_counters",
+        "window_counters",
+        "managed",
+    )
+
+
+class AccessEngine:
+    """Streams references through a molecular cache via cached contexts.
+
+    One engine is built per :meth:`~repro.molecular.cache.MolecularCache.
+    access_many` call (contexts must not outlive external stats resets),
+    or held for the duration of a run as a per-access *session* by
+    drivers that interleave applications one reference at a time
+    (:class:`~repro.sim.cmp.CMPRunner`). A session assumes the cache's
+    stats are not reset behind its back; drivers that need a mid-run
+    reset (warm-up) split the stream instead.
+    """
+
+    __slots__ = ("cache", "stats", "placement", "rng", "resizer",
+                 "advisor", "per_app", "on_hit_live", "lines_per_molecule",
+                 "contexts", "fast_latency")
+
+    def __init__(self, cache) -> None:
+        self.cache = cache
+        self.stats = cache.stats
+        self.placement = cache.placement
+        self.rng = cache.rng
+        self.resizer = cache.resizer
+        self.advisor = cache.resizer.advisor
+        self.per_app = cache.resizer.policy.trigger == "per_app_adaptive"
+        self.on_hit_live = (
+            type(cache.placement).on_hit is not PlacementPolicy.on_hit
+        )
+        self.lines_per_molecule = cache.config.lines_per_molecule
+        self.contexts: dict[int, AccessContext] = {}
+        self.fast_latency = type(cache.latency_model).cycles is LatencyModel.cycles
+
+    # ------------------------------------------------------------- contexts
+
+    def _build_context(self, asid: int) -> AccessContext:
+        cache = self.cache
+        region = cache.regions.get(asid)
+        if region is None:
+            raise UnknownASIDError(asid)
+        ctx = AccessContext()
+        ctx.asid = asid
+        ctx.region = region
+        ctx.region_version = region.version
+        ctx.cache_epoch = cache._ctx_epoch
+        home_id = region.home_tile_id
+        ctx.home_tile_id = home_id
+        home_tile = cache._tiles[home_id]
+        ctx.home_tile = home_tile
+        ctx.home_comparisons = len(home_tile.molecules)
+
+        shared = cache._shared_regions.get(home_id)
+        local_probes = region.molecules_by_tile.get(home_id, 0)
+        if shared is not None and shared is not region:
+            local_probes += home_tile.shared_count
+            ctx.shared_lookup = shared.presence.get
+        else:
+            ctx.shared_lookup = None
+        ctx.local_probes = local_probes
+        ctx.region_lookup = region.presence.get
+
+        # Remote search tables: cumulative (tiles, probes, comparisons)
+        # along Ulmo's deterministic order, keyed by the tile the search
+        # stops at; the final accumulation is the global-miss full walk.
+        tiles = probes = comparisons = 0
+        stop: dict[int, tuple[int, int, int]] = {}
+        contributing = region.contributing_tiles()
+        for tile_id in contributing:
+            if tile_id == home_id:
+                continue
+            tiles += 1
+            probes += region.molecules_by_tile[tile_id]
+            comparisons += len(cache._tiles[tile_id].molecules)
+            stop[tile_id] = (tiles, probes, comparisons)
+        ctx.remote_stop = stop
+        ctx.remote_full = (tiles, probes, comparisons)
+        ctx.has_remote = bool(contributing) and (
+            contributing[0] != home_id or len(contributing) > 1
+        )
+
+        ctx.ulmo_stats = cache.clusters[home_tile.cluster_id].ulmo.stats
+        ctx.molecule_count = region.molecule_count
+        ctx.line_multiplier = region.line_multiplier
+
+        hit_cycles, memory, dispatch, per_tile = cache.latency_model.constants()
+        ctx.hit_cycles = hit_cycles
+        ctx.miss_cycles = hit_cycles + memory
+        ctx.dispatch_cycles = dispatch
+        ctx.per_tile_cycles = per_tile
+
+        total_counters, window_counters = self.stats.counters_for(asid)
+        ctx.total_counters = total_counters
+        ctx.window_counters = window_counters
+        ctx.managed = region.goal is not None
+        return ctx
+
+    def _context(self, asid: int) -> AccessContext:
+        ctx = self.contexts.get(asid)
+        if (
+            ctx is None
+            or ctx.region_version != ctx.region.version
+            or ctx.cache_epoch != self.cache._ctx_epoch
+        ):
+            ctx = self._build_context(asid)
+            self.contexts[asid] = ctx
+        return ctx
+
+    # ------------------------------------------------------------ streaming
+
+    def stream(self, blocks, asids=0, writes=False) -> int:
+        """Simulate a whole reference stream; returns the access count.
+
+        ``blocks`` is a sequence of block numbers (numpy array, list or
+        tuple); ``asids``/``writes`` are parallel sequences or scalars
+        broadcast to every reference.
+        """
+        if isinstance(blocks, np.ndarray):
+            if blocks.ndim != 1:
+                raise ConfigError("blocks must be one-dimensional")
+            blocks = blocks.tolist()
+        elif not isinstance(blocks, (list, tuple)):
+            blocks = list(blocks)
+        n = len(blocks)
+        asid_list, asid_scalar = _as_scalar_sequence(asids, n, "asids")
+        write_list, write_scalar = _as_scalar_sequence(writes, n, "writes")
+        if n == 0:
+            return 0
+        if not self.fast_latency:
+            # Custom latency model: take the scalar reference path.
+            access_block = self.cache.access_block
+            asid_iter = asid_list if asid_list is not None else repeat(asid_scalar)
+            write_iter = (
+                write_list if write_list is not None else repeat(write_scalar)
+            )
+            for block, asid, write in zip(blocks, asid_iter, write_iter):
+                access_block(block, int(asid), bool(write))
+            return n
+
+        cache = self.cache
+        stats = self.stats
+        placement = self.placement
+        rng = self.rng
+        resizer = self.resizer
+        advisor = self.advisor
+        per_app = self.per_app
+        on_hit_live = self.on_hit_live
+        lines_per_molecule = self.lines_per_molecule
+        bus = cache.telemetry
+
+        tot = stats.total
+        wtot = stats.window_total
+        next_global_at = resizer.next_global_at
+
+        # Unpacked context of the asid being streamed; refreshed on asid
+        # change and after any resize fires (cur_asid sentinel). Within
+        # this loop nothing else can invalidate a context.
+        cur_asid: int | None = None
+        ctx = region = home_tile = None
+        region_lookup = shared_lookup = None
+        tc = wc = None
+        local_probes = home_comparisons = hit_cycles = 0
+        molecule_count = managed = None
+
+        asid_iter = asid_list if asid_list is not None else repeat(asid_scalar)
+        write_iter = write_list if write_list is not None else repeat(write_scalar)
+        for block, asid, write in zip(blocks, asid_iter, write_iter):
+            if asid != cur_asid:
+                ctx = self._context(asid)
+                cur_asid = asid
+                region = ctx.region
+                home_tile = ctx.home_tile
+                region_lookup = ctx.region_lookup
+                shared_lookup = ctx.shared_lookup
+                tc = ctx.total_counters
+                wc = ctx.window_counters
+                local_probes = ctx.local_probes
+                home_comparisons = ctx.home_comparisons
+                hit_cycles = ctx.hit_cycles
+                molecule_count = ctx.molecule_count
+                managed = ctx.managed
+
+            home_tile.port_accesses += 1
+            result = None
+            remote_tiles = 0
+
+            molecule = region_lookup(block)
+            if molecule is None and shared_lookup is not None:
+                molecule = shared_lookup(block)
+
+            if molecule is not None:
+                if molecule.tile_id != ctx.home_tile_id:
+                    ulmo_stats = ctx.ulmo_stats
+                    ulmo_stats.tile_misses += 1
+                    ulmo_stats.remote_hits += 1
+                    remote_tiles, remote_probes, comparisons = ctx.remote_stop[
+                        molecule.tile_id
+                    ]
+                    stats.molecules_probed_remote += remote_probes
+                    stats.asid_comparisons += comparisons + home_comparisons
+                    stats.latency_cycles += (
+                        hit_cycles
+                        + ctx.dispatch_cycles
+                        + remote_tiles * ctx.per_tile_cycles
+                    )
+                else:
+                    remote_probes = 0
+                    stats.asid_comparisons += home_comparisons
+                    stats.latency_cycles += hit_cycles
+                stats.molecules_probed_local += local_probes
+                if write:
+                    molecule.mark_dirty(block)
+                if on_hit_live:
+                    placement.on_hit(region, block)
+                tot.accesses += 1
+                tot.hits += 1
+                wtot.accesses += 1
+                wtot.hits += 1
+                tc.accesses += 1
+                tc.hits += 1
+                wc.accesses += 1
+                wc.hits += 1
+                region.window_accesses += 1
+                region.total_accesses += 1
+                region.molecule_integral += molecule_count
+                if bus is not None:
+                    result = AccessResult(
+                        hit=True,
+                        molecules_probed_local=local_probes,
+                        molecules_probed_remote=remote_probes,
+                    )
+            else:
+                ulmo_stats = ctx.ulmo_stats
+                if ctx.has_remote:
+                    ulmo_stats.tile_misses += 1
+                    remote_tiles, remote_probes, comparisons = ctx.remote_full
+                    stats.molecules_probed_remote += remote_probes
+                    stats.asid_comparisons += comparisons + home_comparisons
+                else:
+                    remote_probes = 0
+                    stats.asid_comparisons += home_comparisons
+                ulmo_stats.global_misses += 1
+
+                target, row_index = placement.choose(
+                    region, block, lines_per_molecule, rng
+                )
+                evicted = region.install(block, target, row_index, write)
+                dirty = 0
+                for _b, was_dirty in evicted:
+                    if was_dirty:
+                        dirty += 1
+                    stats.record_eviction(asid, was_dirty)
+                stats.writebacks_to_memory += dirty
+                stats.lines_fetched += ctx.line_multiplier
+                stats.molecules_probed_local += local_probes
+                cycles = ctx.miss_cycles
+                if remote_tiles:
+                    cycles += (
+                        ctx.dispatch_cycles + remote_tiles * ctx.per_tile_cycles
+                    )
+                stats.latency_cycles += cycles
+                tot.accesses += 1
+                wtot.accesses += 1
+                tc.accesses += 1
+                wc.accesses += 1
+                region.window_accesses += 1
+                region.window_misses += 1
+                region.total_accesses += 1
+                region.total_misses += 1
+                region.molecule_integral += molecule_count
+                if bus is not None:
+                    result = AccessResult(
+                        hit=False,
+                        evicted_block=evicted[0][0] if evicted else None,
+                        writeback=dirty > 0,
+                        molecules_probed_local=local_probes,
+                        molecules_probed_remote=remote_probes,
+                        lines_filled=ctx.line_multiplier,
+                    )
+
+            # Inlined Resizer.on_access: identical trigger conditions,
+            # identical fire points; a fire invalidates every context.
+            if advisor is not None:
+                advisor.observe(region, block)
+            if per_app:
+                if managed and region.total_accesses >= region.next_resize_at:
+                    resizer._resize_one(region, tot.accesses)
+                    cache._ctx_epoch += 1
+                    cur_asid = None
+                    tot = stats.total
+                    wtot = stats.window_total
+            elif tot.accesses >= next_global_at:
+                resizer._resize_all(tot.accesses)
+                cache._ctx_epoch += 1
+                cur_asid = None
+                tot = stats.total
+                wtot = stats.window_total
+                next_global_at = resizer.next_global_at
+
+            if bus is not None:
+                if remote_tiles:
+                    result.extra["remote_tiles_searched"] = remote_tiles
+                bus.record_access(asid, block, write, result, remote_tiles)
+        return n
+
+    # ------------------------------------------------------------- sessions
+
+    def access(self, block: int, asid: int = 0, write: bool = False) -> bool:
+        """One allocation-free access; returns the hit flag.
+
+        The per-access twin of :meth:`stream` for drivers that cannot
+        batch (feedback schedulers interleaving applications reference
+        by reference). Contexts persist across calls and revalidate
+        against the region version and cache epoch on every call.
+        """
+        if not self.fast_latency:
+            return self.cache.access_block(block, asid, write).hit
+        ctx = self.contexts.get(asid)
+        if (
+            ctx is None
+            or ctx.region_version != ctx.region.version
+            or ctx.cache_epoch != self.cache._ctx_epoch
+        ):
+            ctx = self._build_context(asid)
+            self.contexts[asid] = ctx
+
+        cache = self.cache
+        stats = self.stats
+        region = ctx.region
+        tot = stats.total
+        wtot = stats.window_total
+        tc = ctx.total_counters
+        wc = ctx.window_counters
+        local_probes = ctx.local_probes
+        bus = cache.telemetry
+        ctx.home_tile.port_accesses += 1
+        result = None
+        remote_tiles = 0
+
+        molecule = ctx.region_lookup(block)
+        if molecule is None and ctx.shared_lookup is not None:
+            molecule = ctx.shared_lookup(block)
+
+        if molecule is not None:
+            hit = True
+            if molecule.tile_id != ctx.home_tile_id:
+                ulmo_stats = ctx.ulmo_stats
+                ulmo_stats.tile_misses += 1
+                ulmo_stats.remote_hits += 1
+                remote_tiles, remote_probes, comparisons = ctx.remote_stop[
+                    molecule.tile_id
+                ]
+                stats.molecules_probed_remote += remote_probes
+                stats.asid_comparisons += comparisons + ctx.home_comparisons
+                stats.latency_cycles += (
+                    ctx.hit_cycles
+                    + ctx.dispatch_cycles
+                    + remote_tiles * ctx.per_tile_cycles
+                )
+            else:
+                remote_probes = 0
+                stats.asid_comparisons += ctx.home_comparisons
+                stats.latency_cycles += ctx.hit_cycles
+            stats.molecules_probed_local += local_probes
+            if write:
+                molecule.mark_dirty(block)
+            if self.on_hit_live:
+                self.placement.on_hit(region, block)
+            tot.accesses += 1
+            tot.hits += 1
+            wtot.accesses += 1
+            wtot.hits += 1
+            tc.accesses += 1
+            tc.hits += 1
+            wc.accesses += 1
+            wc.hits += 1
+            region.window_accesses += 1
+            region.total_accesses += 1
+            region.molecule_integral += ctx.molecule_count
+            if bus is not None:
+                result = AccessResult(
+                    hit=True,
+                    molecules_probed_local=local_probes,
+                    molecules_probed_remote=remote_probes,
+                )
+        else:
+            hit = False
+            ulmo_stats = ctx.ulmo_stats
+            if ctx.has_remote:
+                ulmo_stats.tile_misses += 1
+                remote_tiles, remote_probes, comparisons = ctx.remote_full
+                stats.molecules_probed_remote += remote_probes
+                stats.asid_comparisons += comparisons + ctx.home_comparisons
+            else:
+                remote_probes = 0
+                stats.asid_comparisons += ctx.home_comparisons
+            ulmo_stats.global_misses += 1
+            target, row_index = self.placement.choose(
+                region, block, self.lines_per_molecule, self.rng
+            )
+            evicted = region.install(block, target, row_index, write)
+            dirty = 0
+            for _b, was_dirty in evicted:
+                if was_dirty:
+                    dirty += 1
+                stats.record_eviction(asid, was_dirty)
+            stats.writebacks_to_memory += dirty
+            stats.lines_fetched += ctx.line_multiplier
+            stats.molecules_probed_local += local_probes
+            cycles = ctx.miss_cycles
+            if remote_tiles:
+                cycles += ctx.dispatch_cycles + remote_tiles * ctx.per_tile_cycles
+            stats.latency_cycles += cycles
+            tot.accesses += 1
+            wtot.accesses += 1
+            tc.accesses += 1
+            wc.accesses += 1
+            region.window_accesses += 1
+            region.window_misses += 1
+            region.total_accesses += 1
+            region.total_misses += 1
+            region.molecule_integral += ctx.molecule_count
+            if bus is not None:
+                result = AccessResult(
+                    hit=False,
+                    evicted_block=evicted[0][0] if evicted else None,
+                    writeback=dirty > 0,
+                    molecules_probed_local=local_probes,
+                    molecules_probed_remote=remote_probes,
+                    lines_filled=ctx.line_multiplier,
+                )
+
+        if self.advisor is not None:
+            self.advisor.observe(region, block)
+        if self.per_app:
+            if ctx.managed and region.total_accesses >= region.next_resize_at:
+                self.resizer._resize_one(region, tot.accesses)
+                cache._ctx_epoch += 1
+        elif tot.accesses >= self.resizer.next_global_at:
+            self.resizer._resize_all(tot.accesses)
+            cache._ctx_epoch += 1
+
+        if bus is not None:
+            if remote_tiles:
+                result.extra["remote_tiles_searched"] = remote_tiles
+            bus.record_access(asid, block, write, result, remote_tiles)
+        return hit

@@ -58,6 +58,8 @@ class LatencyParameters:
 class LatencyModel:
     """Maps one access outcome to a cycle count."""
 
+    __slots__ = ("params",)
+
     def __init__(self, params: LatencyParameters | None = None) -> None:
         self.params = params or LatencyParameters()
 
@@ -82,3 +84,24 @@ class LatencyModel:
     def local_hit_cycles(self) -> int:
         """Latency of the common case (hit in the home tile)."""
         return self.params.asid_compare_cycles + self.params.molecule_access_cycles
+
+    def constants(self) -> tuple[int, int, int, int]:
+        """Precomputed cycle constants for the batched access engine.
+
+        Returns ``(local_hit, memory, ulmo_dispatch, per_remote_tile)``
+        such that every outcome of :meth:`cycles` is
+        ``local_hit [+ memory on a miss] [+ ulmo_dispatch +
+        remote_tiles * per_remote_tile when tiles were searched]`` —
+        the engine folds these into its per-region contexts instead of
+        building an :class:`AccessResult` per access. A subclass that
+        overrides :meth:`cycles` is detected by the engine and drops it
+        back to the scalar path, so these constants never mask custom
+        timing.
+        """
+        p = self.params
+        return (
+            p.asid_compare_cycles + p.molecule_access_cycles,
+            p.memory_cycles,
+            p.ulmo_dispatch_cycles,
+            p.tile_hop_cycles + p.molecule_access_cycles,
+        )

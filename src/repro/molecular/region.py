@@ -57,6 +57,7 @@ class CacheRegion:
         "molecules_by_tile",
         "_molecule_count",
         "_tile_order",
+        "version",
         "window_accesses",
         "window_misses",
         "total_accesses",
@@ -93,6 +94,12 @@ class CacheRegion:
         self.molecules_by_tile: dict[int, int] = {}
         self._molecule_count = 0
         self._tile_order: list[int] | None = None
+        #: Monotonic membership/home-tile revision. Bumped by every event
+        #: that changes what a lookup would probe (molecule added or
+        #: withdrawn, home tile re-assigned); the access engine's cached
+        #: per-region contexts compare it to decide whether their
+        #: precomputed probe counts and search orders are still valid.
+        self.version = 0
 
         self.window_accesses = 0
         self.window_misses = 0
@@ -219,7 +226,7 @@ class CacheRegion:
         tile = molecule.tile_id
         self.molecules_by_tile[tile] = self.molecules_by_tile.get(tile, 0) + 1
         self._molecule_count += 1
-        self._tile_order = None
+        self.invalidate_search_order()
 
     def detach_molecule(self, molecule: Molecule) -> list[tuple[int, bool]]:
         """Remove a molecule from the view and flush it.
@@ -248,11 +255,22 @@ class CacheRegion:
         else:
             self.molecules_by_tile.pop(tile, None)
         self._molecule_count -= 1
-        self._tile_order = None
+        self.invalidate_search_order()
         flushed = molecule.flush()
         for block, _dirty in flushed:
             self.presence.pop(block, None)
         return flushed
+
+    def invalidate_search_order(self) -> None:
+        """Drop the cached Ulmo search order and bump :attr:`version`.
+
+        Call after any change to the region's tile membership or home
+        tile. Cached access contexts key their validity on ``version``,
+        so this is also the hook that forces the batched engine to
+        rebuild its per-region probe tables.
+        """
+        self._tile_order = None
+        self.version += 1
 
     def contributing_tiles(self) -> list[int]:
         """Tiles holding at least one of this region's molecules, home first

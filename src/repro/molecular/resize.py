@@ -49,6 +49,15 @@ RESIZE_COMPUTE_CYCLES = 1_500
 class Resizer:
     """Drives Algorithm 1 for every managed region of a molecular cache."""
 
+    __slots__ = (
+        "cache",
+        "policy",
+        "global_period",
+        "next_global_at",
+        "log",
+        "advisor",
+    )
+
     def __init__(self, cache, policy: ResizePolicy) -> None:
         self.cache = cache
         self.policy = policy

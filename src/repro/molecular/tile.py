@@ -15,6 +15,14 @@ from repro.molecular.molecule import Molecule
 class Tile:
     """A group of molecules sharing one port."""
 
+    __slots__ = (
+        "tile_id",
+        "cluster_id",
+        "molecules",
+        "port_accesses",
+        "shared_count",
+    )
+
     def __init__(
         self,
         tile_id: int,

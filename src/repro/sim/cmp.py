@@ -110,12 +110,21 @@ class CMPRunner:
             if len(trace) == 0:
                 raise ConfigError(f"trace for asid {asid} is empty")
             streams[asid] = (
-                trace.blocks(line_bytes).tolist(),
-                trace.writes.tolist(),
+                trace.block_list(line_bytes),
+                trace.write_list(),
             )
         penalty = self.config.miss_penalty
         cache = self.cache
-        access_block = cache.access_block
+        session_factory = getattr(cache, "access_session", None)
+        if session_factory is not None:
+            # Allocation-free per-access path: same stats/telemetry as
+            # access_block, returns a bare hit flag for the timing loop.
+            access = session_factory().access
+        else:
+            access_block = cache.access_block
+
+            def access(block: int, asid: int, write: bool) -> bool:
+                return access_block(block, asid, write).hit
 
         # (time, tiebreak, asid, index) — the tiebreak keeps ordering
         # deterministic and avoids comparing beyond the asid.
@@ -134,7 +143,7 @@ class CMPRunner:
         while True:
             time_now, tiebreak, asid, index = pop(heap)
             blocks, writes = streams[asid]
-            result = access_block(blocks[index], asid, writes[index])
+            hit = access(blocks[index], asid, writes[index])
             issued += 1
             index += 1
             if snapshot is None and warmup and issued >= warmup:
@@ -144,7 +153,7 @@ class CMPRunner:
             if index >= len(blocks):
                 end_time = time_now
                 break
-            gap = 1.0 if result.hit else 1.0 + penalty
+            gap = 1.0 if hit else 1.0 + penalty
             push(heap, (time_now + gap, tiebreak, asid, index))
 
         if self.telemetry is not None:

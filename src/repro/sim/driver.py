@@ -37,14 +37,26 @@ def run_trace(
             f"length ({len(trace)}); nothing would be measured"
         )
     attach_telemetry(cache, telemetry)
-    blocks = trace.blocks(line_bytes).tolist()
-    asids = trace.asids.tolist()
-    writes = trace.writes.tolist()
-    access_block = cache.access_block
-    for index, (block, asid, write) in enumerate(zip(blocks, asids, writes)):
-        if index == warmup_refs and warmup_refs:
+    blocks = trace.block_list(line_bytes)
+    asids = trace.asid_list()
+    writes = trace.write_list()
+    access_many = getattr(cache, "access_many", None)
+    if access_many is not None:
+        # Batched fast path: stream the warm-up prefix, reset, stream the
+        # rest. Stats/telemetry are byte-identical to the scalar loop
+        # below (tests/test_prop_batched.py holds the two to it).
+        if warmup_refs:
+            access_many(blocks[:warmup_refs], asids[:warmup_refs], writes[:warmup_refs])
             cache.stats.reset()
-        access_block(block, asid, write)
+            access_many(blocks[warmup_refs:], asids[warmup_refs:], writes[warmup_refs:])
+        else:
+            access_many(blocks, asids, writes)
+    else:
+        access_block = cache.access_block
+        for index, (block, asid, write) in enumerate(zip(blocks, asids, writes)):
+            if index == warmup_refs and warmup_refs:
+                cache.stats.reset()
+            access_block(block, asid, write)
     if telemetry is not None:
         telemetry.flush_epoch()
     return cache.stats

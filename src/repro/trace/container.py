@@ -30,9 +30,10 @@ class Trace:
         Per-reference write flags, or a scalar. Defaults to all-reads.
     """
 
-    __slots__ = ("addresses", "asids", "writes")
+    __slots__ = ("addresses", "asids", "writes", "_derived")
 
     def __init__(self, addresses, asids=0, writes=False) -> None:
+        self._derived: dict = {}
         self.addresses = np.asarray(addresses, dtype=np.int64)
         if self.addresses.ndim != 1:
             raise ConfigError("trace addresses must be one-dimensional")
@@ -83,6 +84,40 @@ class Trace:
         if line_bytes <= 0 or line_bytes & (line_bytes - 1):
             raise ConfigError(f"line size must be a power of two, got {line_bytes}")
         return self.addresses >> int(line_bytes).bit_length() - 1
+
+    def block_list(self, line_bytes: int = 64) -> list[int]:
+        """Block numbers as a plain-int list, cached per line size.
+
+        Drivers stream the same trace through many cache configurations;
+        the ``.tolist()`` conversion (plain ints are much faster than
+        numpy scalars in the simulators' Python loops) is paid once per
+        line size instead of once per run. The cache assumes the column
+        arrays are not mutated in place — derived views (``with_asid``,
+        slices, ``offset``) return fresh ``Trace`` objects and so get
+        fresh caches.
+        """
+        key = ("blocks", line_bytes)
+        cached = self._derived.get(key)
+        if cached is None:
+            cached = self.blocks(line_bytes).tolist()
+            self._derived[key] = cached
+        return cached
+
+    def asid_list(self) -> list[int]:
+        """ASID column as a plain-int list (cached; see :meth:`block_list`)."""
+        cached = self._derived.get("asids")
+        if cached is None:
+            cached = self.asids.tolist()
+            self._derived["asids"] = cached
+        return cached
+
+    def write_list(self) -> list[bool]:
+        """Write-flag column as a plain-bool list (cached; see :meth:`block_list`)."""
+        cached = self._derived.get("writes")
+        if cached is None:
+            cached = self.writes.tolist()
+            self._derived["writes"] = cached
+        return cached
 
     def unique_asids(self) -> list[int]:
         return sorted(int(a) for a in np.unique(self.asids))

@@ -1,0 +1,269 @@
+"""Scalar/batched equivalence property tests.
+
+The batched access engine (``repro.molecular.engine``) and the
+set-associative ``access_many``/``access_session`` fast paths promise
+byte-identical observable state to replaying the same references through
+the scalar ``access_block`` reference implementations: stats dicts,
+window counters, telemetry event streams, occupancy reports and resize
+logs. These tests drive randomized traces — across placements, line
+multipliers, resize triggers, shared regions and mid-trace migrations —
+through both paths and hold them to it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.setassoc import SetAssociativeCache
+from repro.common.rng import XorShift64
+from repro.common.types import AccessResult
+from repro.molecular.cache import MolecularCache
+from repro.molecular.config import MolecularCacheConfig, ResizePolicy
+from repro.molecular.latency import LatencyModel
+from repro.sim.driver import run_trace
+from repro.telemetry.bus import EventBus
+from repro.telemetry.sinks import RingBufferSink
+from repro.trace.container import Trace
+
+
+def build_cache(placement: str, trigger: str) -> MolecularCache:
+    config = MolecularCacheConfig(
+        molecule_bytes=1024,
+        molecules_per_tile=8,
+        tiles_per_cluster=2,
+        clusters=1,
+        strict=False,
+    )
+    return MolecularCache(
+        config,
+        resize_policy=ResizePolicy(
+            period=200,
+            trigger=trigger,
+            min_window_refs=16,
+            period_floor=50,
+        ),
+        placement=placement,
+        rng=XorShift64(11),
+    )
+
+
+def attach_bus(cache) -> RingBufferSink:
+    sink = RingBufferSink(capacity=1_000_000)
+    cache.attach_telemetry(
+        EventBus([sink], epoch_refs=100, sample_interval=7, remote_search_sample=2)
+    )
+    return sink
+
+
+def replay_scalar(cache, stream) -> None:
+    for block, asid, write in stream:
+        cache.access_block(block, asid, write)
+
+
+def assert_equivalent(reference, candidate, ref_sink=None, cand_sink=None):
+    assert reference.stats == candidate.stats
+    assert reference.stats.as_dict() == candidate.stats.as_dict()
+    assert reference.occupancy_report() == candidate.occupancy_report()
+    assert reference.resizer.log == candidate.resizer.log
+    if ref_sink is not None:
+        assert ref_sink.events() == cand_sink.events()
+
+
+references = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=400),
+        st.integers(min_value=0, max_value=1),
+        st.booleans(),
+    ),
+    min_size=30,
+    max_size=400,
+)
+
+
+class TestMolecularBatchedEquivalence:
+    @given(
+        stream=references,
+        placement=st.sampled_from(["random", "randy", "lru_direct"]),
+        trigger=st.sampled_from(["global_adaptive", "per_app_adaptive"]),
+        multiplier=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_stream_matches_scalar(self, stream, placement, trigger, multiplier):
+        def setup():
+            cache = build_cache(placement, trigger)
+            cache.assign_application(
+                0, goal=0.3, initial_molecules=3, tile_id=0,
+                line_multiplier=multiplier,
+            )
+            cache.assign_application(1, goal=0.3, initial_molecules=3, tile_id=1)
+            return cache, attach_bus(cache)
+
+        blocks = [b for b, _a, _w in stream]
+        asids = [a for _b, a, _w in stream]
+        writes = [w for _b, _a, w in stream]
+
+        scalar, scalar_sink = setup()
+        replay_scalar(scalar, stream)
+
+        batched, batched_sink = setup()
+        assert batched.access_many(blocks, asids, writes) == len(stream)
+
+        session_cache, session_sink = setup()
+        access = session_cache.access_session().access
+        for block, asid, write in stream:
+            access(block, asid, write)
+
+        assert_equivalent(scalar, batched, scalar_sink, batched_sink)
+        assert_equivalent(scalar, session_cache, scalar_sink, session_sink)
+
+    @given(
+        stream=references,
+        placement=st.sampled_from(["random", "randy"]),
+        cut=st.integers(min_value=1, max_value=29),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_migration_mid_trace(self, stream, placement, cut):
+        def setup():
+            cache = build_cache(placement, "global_adaptive")
+            cache.assign_application(0, goal=0.3, initial_molecules=3, tile_id=0)
+            cache.assign_application(1, goal=0.3, initial_molecules=3, tile_id=1)
+            return cache, attach_bus(cache)
+
+        scalar, scalar_sink = setup()
+        replay_scalar(scalar, stream[:cut])
+        scalar.migrate_application(0, 1)
+        replay_scalar(scalar, stream[cut:])
+
+        batched, batched_sink = setup()
+        head, tail = stream[:cut], stream[cut:]
+        batched.access_many(*zip(*head))
+        batched.migrate_application(0, 1)
+        if tail:
+            batched.access_many(
+                [b for b, _a, _w in tail],
+                [a for _b, a, _w in tail],
+                [w for _b, _a, w in tail],
+            )
+
+        # The session path must pick the migration up mid-stream via the
+        # context epoch, with no explicit invalidation call.
+        session_cache, session_sink = setup()
+        access = session_cache.access_session().access
+        for block, asid, write in stream[:cut]:
+            access(block, asid, write)
+        session_cache.migrate_application(0, 1)
+        for block, asid, write in stream[cut:]:
+            access(block, asid, write)
+
+        assert_equivalent(scalar, batched, scalar_sink, batched_sink)
+        assert_equivalent(scalar, session_cache, scalar_sink, session_sink)
+
+    @given(stream=references)
+    @settings(max_examples=15, deadline=None)
+    def test_shared_region_fallback(self, stream):
+        def setup():
+            cache = build_cache("randy", "global_adaptive")
+            cache.create_shared_region(tile_id=0, molecules=4)
+            cache.assign_shared_application(0, tile_id=0)
+            cache.assign_application(1, goal=0.3, initial_molecules=3, tile_id=0)
+            return cache, attach_bus(cache)
+
+        scalar, scalar_sink = setup()
+        replay_scalar(scalar, stream)
+
+        batched, batched_sink = setup()
+        batched.access_many(
+            [b for b, _a, _w in stream],
+            [a for _b, a, _w in stream],
+            [w for _b, _a, w in stream],
+        )
+        assert_equivalent(scalar, batched, scalar_sink, batched_sink)
+
+    @given(stream=references)
+    @settings(max_examples=10, deadline=None)
+    def test_custom_latency_model_takes_scalar_path(self, stream):
+        class DoubledLatency(LatencyModel):
+            def cycles(self, result: AccessResult) -> int:
+                return 2 * LatencyModel.cycles(self, result)
+
+        def setup():
+            cache = build_cache("randy", "global_adaptive")
+            cache.latency_model = DoubledLatency()
+            cache.assign_application(0, goal=0.3, initial_molecules=3)
+            cache.assign_application(1, goal=0.3, initial_molecules=3)
+            return cache
+
+        scalar = setup()
+        replay_scalar(scalar, stream)
+
+        batched = setup()
+        batched.access_many(
+            [b for b, _a, _w in stream],
+            [a for _b, a, _w in stream],
+            [w for _b, _a, w in stream],
+        )
+        assert_equivalent(scalar, batched)
+
+
+class TestSetAssocBatchedEquivalence:
+    @given(
+        stream=references,
+        policy=st.sampled_from(["lru", "fifo", "random"]),
+        associativity=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_stream_matches_scalar(self, stream, policy, associativity):
+        def setup():
+            return SetAssociativeCache(
+                1 << 13, associativity, policy=policy, rng=XorShift64(3)
+            )
+
+        scalar = setup()
+        for block, asid, write in stream:
+            scalar.access_block(block, asid, write)
+
+        batched = setup()
+        assert batched.access_many(
+            [b for b, _a, _w in stream],
+            [a for _b, a, _w in stream],
+            [w for _b, _a, w in stream],
+        ) == len(stream)
+
+        session_cache = setup()
+        access = session_cache.access_session().access
+        hits = [access(block, asid, write) for block, asid, write in stream]
+
+        assert scalar.stats == batched.stats == session_cache.stats
+        assert (
+            sorted(scalar.resident_blocks())
+            == sorted(batched.resident_blocks())
+            == sorted(session_cache.resident_blocks())
+        )
+        assert hits.count(True) == scalar.stats.total.hits
+
+
+class TestRunTraceBatched:
+    @given(stream=references, warmup=st.integers(min_value=0, max_value=29))
+    @settings(max_examples=10, deadline=None)
+    def test_run_trace_warmup_split_matches_scalar_loop(self, stream, warmup):
+        addresses = [b * 64 for b, _a, _w in stream]
+        trace = Trace(
+            addresses,
+            [a for _b, a, _w in stream],
+            [w for _b, _a, w in stream],
+        )
+
+        def setup():
+            cache = build_cache("randy", "global_adaptive")
+            cache.assign_application(0, goal=0.3, initial_molecules=3, tile_id=0)
+            cache.assign_application(1, goal=0.3, initial_molecules=3, tile_id=1)
+            return cache
+
+        scalar = setup()
+        for index, (block, asid, write) in enumerate(stream):
+            if index == warmup and warmup:
+                scalar.stats.reset()
+            scalar.access_block(block, asid, write)
+
+        driven = setup()
+        run_trace(driven, trace, warmup_refs=warmup)
+        assert_equivalent(scalar, driven)
