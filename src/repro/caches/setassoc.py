@@ -229,6 +229,15 @@ class SetAssociativeCache:
         """True if the block is currently resident (no state update)."""
         return block in self._sets[block & self._set_mask]
 
+    def iter_sets(self):
+        """Iterate the sets in index order (read-only audit hook).
+
+        The audit subsystem (:mod:`repro.audit.invariants`) walks every
+        set to check structural invariants; the dispatch there keys off
+        this method's presence.
+        """
+        return iter(self._sets)
+
     def resident_blocks(self) -> list[int]:
         """All resident block numbers (test/diagnostic helper)."""
         resident: list[int] = []

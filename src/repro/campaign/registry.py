@@ -322,8 +322,24 @@ def get_experiment(name: str) -> ExperimentTarget:
 
 
 def execute_job(spec: JobSpec) -> Any:
-    """Dispatch one spec to its target's job executor (worker side)."""
+    """Dispatch one spec to its target's job executor (worker side).
+
+    An :class:`~repro.audit.invariants.AuditError` (the jobs run their
+    simulations under ``$REPRO_AUDIT`` when ``repro sweep --audit`` set
+    it — worker processes inherit the environment) is re-raised as a
+    :class:`~repro.common.errors.CampaignError` naming the job: invariant
+    violations are deterministic, so the runner must fail the job instead
+    of burning its retry budget.
+    """
+    from repro.audit.invariants import AuditError
+    from repro.common.errors import CampaignError
+
     target = get_experiment(spec.experiment)
-    if spec.job == "whole" or target.execute is None:
-        return _execute_whole(spec)
-    return target.execute(spec)
+    try:
+        if spec.job == "whole" or target.execute is None:
+            return _execute_whole(spec)
+        return target.execute(spec)
+    except AuditError as error:
+        raise CampaignError(
+            f"audit failed in job {spec.label()}: {error}"
+        ) from error

@@ -220,6 +220,10 @@ class CampaignRunner:
         attempt: int, error: BaseException,
     ) -> int:
         """Account one failure; returns the next attempt number."""
+        if isinstance(error, CampaignError):
+            # The worker already classified this as deterministic (e.g.
+            # an invariant-audit failure): retrying cannot help.
+            raise error
         if isinstance(error, ConfigError):
             raise CampaignError(
                 f"job {spec.label()} is misconfigured: {error}"

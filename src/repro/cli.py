@@ -21,6 +21,14 @@ Commands
     miss-rate/occupancy/HPM epochs, and a convergence summary.
 ``power``
     Evaluate a cache organization with the analytical power model.
+``fuzz``
+    Differential fuzzing: randomized op streams through every access
+    path with the full-state invariant auditor at epoch boundaries;
+    failures are shrunk to a minimal repro.
+
+``simulate`` and ``sweep`` additionally accept ``--audit [CADENCE]`` to
+run the invariant auditor every CADENCE accesses during the run (sweep
+propagates the cadence to campaign workers via ``$REPRO_AUDIT``).
 """
 
 from __future__ import annotations
@@ -180,7 +188,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     runner = CMPRunner(
         cache,
-        CMPRunConfig(args.miss_penalty, warmup_refs=args.refs // 4),
+        CMPRunConfig(
+            args.miss_penalty,
+            warmup_refs=args.refs // 4,
+            audit_every=args.audit,
+        ),
         telemetry=bus,
     )
     try:
@@ -211,10 +223,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    import os
     from pathlib import Path
 
     from repro.campaign import CampaignConfig, CampaignRunner, ResultStore
     from repro.campaign.registry import get_experiment
+
+    if args.audit is not None:
+        # Worker processes inherit the environment, so this single
+        # variable carries the audit cadence into every pool job.
+        os.environ["REPRO_AUDIT"] = str(args.audit)
 
     target = get_experiment(args.name)
     options = _experiment_options(target, args)
@@ -264,6 +282,36 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     report = load_report(args.events)
     print(report.format(max_rows=args.max_rows))
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.audit.fuzz import ALL_PLACEMENTS, ALL_TRIGGERS, fuzz
+
+    placements = ALL_PLACEMENTS if args.placement == "all" else (args.placement,)
+    triggers = ALL_TRIGGERS if args.trigger == "all" else (args.trigger,)
+    report = fuzz(
+        ops=args.ops,
+        seed=args.seed,
+        placements=placements,
+        triggers=triggers,
+        audit_every=args.audit,
+        shrink=not args.no_shrink,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    print(report.summary())
+    if report.ok:
+        return 0
+    for failure in report.failures:
+        print()
+        print(f"FAIL {failure.summary()}")
+        print("  minimal op stream:")
+        for op in failure.ops[:40]:
+            print(f"    {op}")
+        if len(failure.ops) > 40:
+            print(f"    ... {len(failure.ops) - 40} more")
+        for divergence in failure.divergences[:10]:
+            print(f"  divergence: {divergence}")
+    return 1
 
 
 def cmd_power(args: argparse.Namespace) -> int:
@@ -335,6 +383,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--record", metavar="PATH", default=None,
                        help="record campaign lifecycle events to a JSONL "
                             "file (replay with `repro inspect`)")
+    sweep.add_argument("--audit", metavar="CADENCE", nargs="?", type=int,
+                       const=100_000, default=None,
+                       help="run the invariant auditor every CADENCE "
+                            "accesses inside every job (default 100000; "
+                            "propagated to workers via $REPRO_AUDIT)")
 
     simulate = sub.add_parser("simulate", help="run a workload mix on a cache")
     simulate.add_argument("--cache", choices=["molecular", "setassoc"],
@@ -360,6 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--record-remote-sample", type=int, default=100,
                           help="emit every Nth RemoteSearch event "
                                "(1 = all; epoch aggregates are unaffected)")
+    simulate.add_argument("--audit", metavar="CADENCE", nargs="?", type=int,
+                          const=100_000, default=None,
+                          help="run the invariant auditor every CADENCE "
+                               "accesses (default 100000 when the flag is "
+                               "given; $REPRO_AUDIT otherwise)")
 
     inspect = sub.add_parser(
         "inspect", help="replay a recorded telemetry JSONL stream"
@@ -368,6 +426,25 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--max-rows", type=int, default=40,
                          help="cap rows per table (use a large value for "
                               "the full timeline)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing with the invariant auditor",
+    )
+    fuzz.add_argument("--ops", type=int, default=50_000,
+                      help="operations per placement x trigger cell")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--placement", default="all",
+                      choices=["all", "random", "randy", "lru_direct"])
+    fuzz.add_argument("--trigger", default="all",
+                      choices=["all", "constant", "global_adaptive",
+                               "per_app_adaptive"])
+    fuzz.add_argument("--audit", metavar="CADENCE", nargs="?", type=int,
+                      const=None, default=None,
+                      help="audit every CADENCE operations (default: the "
+                           "harness's 500-op epoch)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report failures without minimising them")
 
     power = sub.add_parser("power", help="evaluate a cache organization")
     power.add_argument("--size", default="8MB")
@@ -385,6 +462,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "simulate": cmd_simulate,
     "inspect": cmd_inspect,
+    "fuzz": cmd_fuzz,
     "power": cmd_power,
 }
 

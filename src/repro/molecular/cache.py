@@ -240,6 +240,16 @@ class MolecularCache:
             )
         cluster = self.cluster_of_tile(tile_id)
         granted = cluster.ulmo.allocate(asid, initial_molecules, tile_id)
+        if not granted:
+            # Fail at assignment time: a region with zero molecules would
+            # only surface later, as an opaque SimulationError from the
+            # placement policy on the application's first miss.
+            raise ConfigError(
+                f"cannot assign asid {asid}: an initial allocation of "
+                f"{initial_molecules} molecule(s) got none (tile {tile_id} "
+                f"has {self.tile_of(tile_id).free_count} free, its cluster "
+                f"{cluster.free_count})"
+            )
         for molecule in granted:
             region.add_molecule(molecule, self.placement.initial_row_index(region))
         self.regions[asid] = region
@@ -262,8 +272,10 @@ class MolecularCache:
         if len(granted) < molecules:
             for molecule in granted:
                 tile.release(molecule)
+            # After the release loop the partial grant is already back in
+            # the free pool, so free_count alone is the availability.
             raise ConfigError(
-                f"tile {tile_id} has only {tile.free_count + len(granted)} free "
+                f"tile {tile_id} has only {tile.free_count} free "
                 f"molecules; cannot build a shared region of {molecules}"
             )
         region = CacheRegion(SHARED_ASID, None, tile_id)
@@ -380,8 +392,11 @@ class MolecularCache:
         stats.molecules_probed_local += local_probes
 
         molecule = region.lookup(block)
+        serving_region = region
         if molecule is None and shared_region is not None and shared_region is not region:
             molecule = shared_region.lookup(block)
+            if molecule is not None:
+                serving_region = shared_region
 
         remote_probes = 0
         remote_tiles = 0
@@ -397,7 +412,10 @@ class MolecularCache:
                 stats.asid_comparisons += comparisons
             if write:
                 molecule.mark_dirty(block)
-            self.placement.on_hit(region, block)
+            # Recency belongs to the region that served the hit: a hit in
+            # the tile's shared region must age the *shared* occupants,
+            # not stamp the exclusive region's map.
+            self.placement.on_hit(serving_region, block)
             stats.record_access(asid, hit=True)
             region.record_access(hit=True)
             result = AccessResult(
@@ -426,8 +444,9 @@ class MolecularCache:
             evicted = region.install(block, target, row_index, write)
             dirty = sum(1 for _b, was_dirty in evicted if was_dirty)
             stats.writebacks_to_memory += dirty
-            for _b, was_dirty in evicted:
+            for b, was_dirty in evicted:
                 stats.record_eviction(asid, was_dirty)
+                self.placement.on_evict(region, b)
             stats.lines_fetched += region.line_multiplier
             stats.record_access(asid, hit=False)
             region.record_access(hit=False)

@@ -39,9 +39,10 @@ A context is valid while both hold:
   :meth:`~repro.molecular.region.CacheRegion.invalidate_search_order`
   on every molecule grant/withdrawal and home-tile migration;
 * the cache's ``_ctx_epoch`` is unchanged — bumped by region
-  assignment, shared-region creation, migration, and by this engine
-  after any resize fires (a global resize can reset stats windows of
-  regions whose membership did not change).
+  assignment, shared-region creation, migration, and by the resizer
+  whenever a resize round fires (a global resize can reset stats
+  windows of regions whose membership did not change, and an external
+  ``force_resize`` must invalidate live sessions the same way).
 
 Within one :meth:`AccessEngine.stream` call only the engine itself can
 trigger invalidation (resize fires), which it detects directly; the
@@ -105,6 +106,7 @@ class AccessContext:
         "local_probes",
         "region_lookup",
         "shared_lookup",
+        "shared_region",
         "remote_stop",
         "remote_full",
         "has_remote",
@@ -134,8 +136,8 @@ class AccessEngine:
     """
 
     __slots__ = ("cache", "stats", "placement", "rng", "resizer",
-                 "advisor", "per_app", "on_hit_live", "lines_per_molecule",
-                 "contexts", "fast_latency")
+                 "advisor", "per_app", "on_hit_live", "on_evict_live",
+                 "lines_per_molecule", "contexts", "fast_latency")
 
     def __init__(self, cache) -> None:
         self.cache = cache
@@ -147,6 +149,9 @@ class AccessEngine:
         self.per_app = cache.resizer.policy.trigger == "per_app_adaptive"
         self.on_hit_live = (
             type(cache.placement).on_hit is not PlacementPolicy.on_hit
+        )
+        self.on_evict_live = (
+            type(cache.placement).on_evict is not PlacementPolicy.on_evict
         )
         self.lines_per_molecule = cache.config.lines_per_molecule
         self.contexts: dict[int, AccessContext] = {}
@@ -175,8 +180,10 @@ class AccessEngine:
         if shared is not None and shared is not region:
             local_probes += home_tile.shared_count
             ctx.shared_lookup = shared.presence.get
+            ctx.shared_region = shared
         else:
             ctx.shared_lookup = None
+            ctx.shared_region = None
         ctx.local_probes = local_probes
         ctx.region_lookup = region.presence.get
 
@@ -265,6 +272,7 @@ class AccessEngine:
         advisor = self.advisor
         per_app = self.per_app
         on_hit_live = self.on_hit_live
+        on_evict_live = self.on_evict_live
         lines_per_molecule = self.lines_per_molecule
         bus = cache.telemetry
 
@@ -331,7 +339,12 @@ class AccessEngine:
                 if write:
                     molecule.mark_dirty(block)
                 if on_hit_live:
-                    placement.on_hit(region, block)
+                    # Recency belongs to the serving region (the hit may
+                    # have come from the tile's shared region).
+                    if shared_lookup is not None and region_lookup(block) is None:
+                        placement.on_hit(ctx.shared_region, block)
+                    else:
+                        placement.on_hit(region, block)
                 tot.accesses += 1
                 tot.hits += 1
                 wtot.accesses += 1
@@ -370,6 +383,9 @@ class AccessEngine:
                     if was_dirty:
                         dirty += 1
                     stats.record_eviction(asid, was_dirty)
+                if on_evict_live:
+                    for b, _was_dirty in evicted:
+                        placement.on_evict(region, b)
                 stats.writebacks_to_memory += dirty
                 stats.lines_fetched += ctx.line_multiplier
                 stats.molecules_probed_local += local_probes
@@ -405,13 +421,11 @@ class AccessEngine:
             if per_app:
                 if managed and region.total_accesses >= region.next_resize_at:
                     resizer._resize_one(region, tot.accesses)
-                    cache._ctx_epoch += 1
                     cur_asid = None
                     tot = stats.total
                     wtot = stats.window_total
             elif tot.accesses >= next_global_at:
                 resizer._resize_all(tot.accesses)
-                cache._ctx_epoch += 1
                 cur_asid = None
                 tot = stats.total
                 wtot = stats.window_total
@@ -485,7 +499,12 @@ class AccessEngine:
             if write:
                 molecule.mark_dirty(block)
             if self.on_hit_live:
-                self.placement.on_hit(region, block)
+                # Recency belongs to the serving region (the hit may have
+                # come from the tile's shared region).
+                if ctx.shared_lookup is not None and ctx.region_lookup(block) is None:
+                    self.placement.on_hit(ctx.shared_region, block)
+                else:
+                    self.placement.on_hit(region, block)
             tot.accesses += 1
             tot.hits += 1
             wtot.accesses += 1
@@ -524,6 +543,9 @@ class AccessEngine:
                 if was_dirty:
                     dirty += 1
                 stats.record_eviction(asid, was_dirty)
+            if self.on_evict_live:
+                for b, _was_dirty in evicted:
+                    self.placement.on_evict(region, b)
             stats.writebacks_to_memory += dirty
             stats.lines_fetched += ctx.line_multiplier
             stats.molecules_probed_local += local_probes
@@ -555,10 +577,8 @@ class AccessEngine:
         if self.per_app:
             if ctx.managed and region.total_accesses >= region.next_resize_at:
                 self.resizer._resize_one(region, tot.accesses)
-                cache._ctx_epoch += 1
         elif tot.accesses >= self.resizer.next_global_at:
             self.resizer._resize_all(tot.accesses)
-            cache._ctx_epoch += 1
 
         if bus is not None:
             if remote_tiles:

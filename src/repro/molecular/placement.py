@@ -64,6 +64,11 @@ class PlacementPolicy(ABC):
     def on_hit(self, region: CacheRegion, block: int) -> None:
         """Hook called on every hit (LRU-Direct tracks recency here)."""
 
+    def on_evict(self, region: CacheRegion, block: int) -> None:
+        """Hook called when ``block`` leaves ``region`` (replacement
+        eviction or withdrawal flush) — LRU-Direct prunes recency state
+        here so its timestamp maps stay bounded by residency."""
+
     def reset_counters(self, region: CacheRegion) -> None:
         """Zero the miss counters after a resize decision."""
         for molecule in region.molecules():
@@ -194,6 +199,16 @@ class LRUDirectPlacement(RandyPlacement):
     def on_hit(self, region: CacheRegion, block: int) -> None:
         self._clock += 1
         self._touches(region)[block] = self._clock
+
+    def on_evict(self, region: CacheRegion, block: int) -> None:
+        # A superseded dirty copy appears in the eviction list but the
+        # block is immediately re-fetched into the target molecule — it
+        # is still resident, so its timestamp must survive.
+        if block in region.presence:
+            return
+        touches = self._touch.get(region.asid)
+        if touches is not None:
+            touches.pop(block, None)
 
     def choose(
         self,

@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import math
 
-from repro.common.errors import SimulationError
 from repro.molecular.config import ResizePolicy
 from repro.molecular.region import CacheRegion
 from repro.telemetry.events import (
@@ -124,6 +123,9 @@ class Resizer:
         self.next_global_at = total_accesses + self.global_period
         self.cache.stats.resize_events += 1
         self.cache.stats.resize_compute_cycles += RESIZE_COMPUTE_CYCLES * len(regions)
+        # A round resets stats windows even for regions whose membership
+        # did not change, so every cached access context is stale.
+        self.cache._ctx_epoch += 1
 
     def _aggregate_goal(self, regions: list[CacheRegion]) -> float:
         """Access-weighted mean goal — the "overall miss rate goal"."""
@@ -154,6 +156,7 @@ class Resizer:
         region.next_resize_at = region.total_accesses + region.resize_period
         self.cache.stats.resize_events += 1
         self.cache.stats.resize_compute_cycles += RESIZE_COMPUTE_CYCLES
+        self.cache._ctx_epoch += 1
 
     # ---------------------------------------------------------- Algorithm 1
 
@@ -287,8 +290,13 @@ class Resizer:
             flushed = region.detach_molecule(molecule)
             tile = self.cache.tile_of(molecule.tile_id)
             tile.release(molecule)
-            dirty = sum(1 for _block, was_dirty in flushed if was_dirty)
+            dirty = 0
+            for block, was_dirty in flushed:
+                if was_dirty:
+                    dirty += 1
+                self.cache.placement.on_evict(region, block)
             self.cache.stats.writebacks_to_memory += dirty
+            self.cache.stats.flush_writebacks += dirty
             dirty_flushed += dirty
             withdrawn += 1
         if withdrawn:
@@ -315,12 +323,14 @@ class Resizer:
             self._resize_all(self.cache.stats.total.accesses)
 
     def check_consistency(self) -> None:
-        """Raise if any region's bookkeeping is inconsistent (test hook)."""
-        for region in self.cache.regions.values():
-            count = region.molecule_count
-            by_tile = sum(region.molecules_by_tile.values())
-            if count != by_tile:
-                raise SimulationError(
-                    f"region asid={region.asid}: {count} molecules in view, "
-                    f"{by_tile} in tile index"
-                )
+        """Raise if any cache bookkeeping is inconsistent (test hook).
+
+        Delegates to the full-state auditor (:mod:`repro.audit.invariants`),
+        which absorbed and extended the original tile-index check; the
+        :class:`~repro.audit.invariants.AuditError` it raises is a
+        :class:`~repro.common.errors.SimulationError`, so existing callers
+        are unaffected.
+        """
+        from repro.audit.invariants import assert_invariants
+
+        assert_invariants(self.cache)

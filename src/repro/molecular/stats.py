@@ -28,6 +28,10 @@ class MolecularStats(CacheStats):
     lines_fetched:
         Base lines brought in from memory (> misses when a region uses a
         larger line size).
+    flush_writebacks:
+        Dirty lines written back because a molecule was flushed on
+        withdrawal (the remainder of ``writebacks_to_memory`` is dirty
+        replacement evictions, counted per ASID in ``total.writebacks``).
     resize_events / molecules_granted / molecules_withdrawn:
         Resize-engine activity.
     resize_compute_cycles:
@@ -40,6 +44,7 @@ class MolecularStats(CacheStats):
     asid_comparisons: int = 0
     lines_fetched: int = 0
     writebacks_to_memory: int = 0
+    flush_writebacks: int = 0
     resize_events: int = 0
     molecules_granted: int = 0
     molecules_withdrawn: int = 0
@@ -74,6 +79,7 @@ class MolecularStats(CacheStats):
                 "asid_comparisons": self.asid_comparisons,
                 "lines_fetched": self.lines_fetched,
                 "writebacks_to_memory": self.writebacks_to_memory,
+                "flush_writebacks": self.flush_writebacks,
                 "resize_events": self.resize_events,
                 "molecules_granted": self.molecules_granted,
                 "molecules_withdrawn": self.molecules_withdrawn,

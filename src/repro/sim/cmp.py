@@ -25,6 +25,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro.audit.invariants import resolve_cadence
 from repro.caches.stats import AsidCounters
 from repro.common.errors import ConfigError
 from repro.telemetry.bus import EventBus, attach_telemetry
@@ -39,16 +40,23 @@ class CMPRunConfig:
     hitting core, that a shared-cache miss inflicts on its core. 10 is a
     reasonable ratio of memory latency to the mean time between post-L1
     references of a well-cached application.
+
+    ``audit_every`` runs the full-state invariant auditor every that many
+    issued references (``None`` consults ``$REPRO_AUDIT``; 0 disables —
+    the access closure is then exactly the un-audited one).
     """
 
     miss_penalty: float = 10.0
     warmup_refs: int = 100_000
+    audit_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.miss_penalty < 0:
             raise ConfigError("miss penalty cannot be negative")
         if self.warmup_refs < 0:
             raise ConfigError("warmup_refs cannot be negative")
+        if self.audit_every is not None and self.audit_every < 0:
+            raise ConfigError("audit_every cannot be negative")
 
 
 @dataclass(slots=True)
@@ -125,6 +133,23 @@ class CMPRunner:
 
             def access(block: int, asid: int, write: bool) -> bool:
                 return access_block(block, asid, write).hit
+
+        cadence = resolve_cadence(self.config.audit_every)
+        if cadence:
+            # Wrap (rather than branch in the hot loop) so a disabled
+            # audit leaves the access path untouched.
+            from repro.audit.invariants import audit_and_emit
+
+            inner_access = access
+            audit_countdown = [cadence]
+
+            def access(block: int, asid: int, write: bool) -> bool:
+                hit = inner_access(block, asid, write)
+                audit_countdown[0] -= 1
+                if audit_countdown[0] <= 0:
+                    audit_countdown[0] = cadence
+                    audit_and_emit(cache)
+                return hit
 
         # (time, tiebreak, asid, index) — the tiebreak keeps ordering
         # deterministic and avoids comparing beyond the asid.

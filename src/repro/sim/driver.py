@@ -7,6 +7,7 @@ through a cache in order.
 
 from __future__ import annotations
 
+from repro.audit.invariants import audit_and_emit, resolve_cadence
 from repro.common.errors import ConfigError
 from repro.telemetry.bus import EventBus, attach_telemetry
 from repro.trace.container import Trace
@@ -18,6 +19,7 @@ def run_trace(
     line_bytes: int = 64,
     warmup_refs: int = 0,
     telemetry: EventBus | None = None,
+    audit_every: int | None = None,
 ):
     """Stream ``trace`` through ``cache``; returns the cache's stats object.
 
@@ -28,6 +30,14 @@ def run_trace(
     the duration of the run (caches without telemetry support ignore it);
     the tail epoch is flushed before returning, but the bus is left open —
     the caller owns its lifecycle.
+
+    ``audit_every`` runs the full-state invariant auditor
+    (:func:`repro.audit.invariants.audit_and_emit`) every that many
+    references, plus once at the end of the run; ``None`` consults the
+    ``$REPRO_AUDIT`` environment variable, and 0 disables auditing — in
+    which case the access stream is issued exactly as before (one
+    ``access_many`` call per segment; ``benchmarks/`` guards the
+    zero-overhead contract).
     """
     if warmup_refs < 0:
         raise ConfigError("warmup_refs cannot be negative")
@@ -36,6 +46,7 @@ def run_trace(
             f"warmup_refs ({warmup_refs}) must be smaller than the trace "
             f"length ({len(trace)}); nothing would be measured"
         )
+    cadence = resolve_cadence(audit_every)
     attach_telemetry(cache, telemetry)
     blocks = trace.block_list(line_bytes)
     asids = trace.asid_list()
@@ -44,19 +55,35 @@ def run_trace(
     if access_many is not None:
         # Batched fast path: stream the warm-up prefix, reset, stream the
         # rest. Stats/telemetry are byte-identical to the scalar loop
-        # below (tests/test_prop_batched.py holds the two to it).
+        # below (tests/test_prop_batched.py holds the two to it); the
+        # audit cadence only chunks the calls, it never reorders accesses.
+        def stream(lo: int, hi: int) -> None:
+            if not cadence:
+                access_many(blocks[lo:hi], asids[lo:hi], writes[lo:hi])
+                return
+            for start in range(lo, hi, cadence):
+                stop = min(start + cadence, hi)
+                access_many(
+                    blocks[start:stop], asids[start:stop], writes[start:stop]
+                )
+                audit_and_emit(cache)
+
         if warmup_refs:
-            access_many(blocks[:warmup_refs], asids[:warmup_refs], writes[:warmup_refs])
+            stream(0, warmup_refs)
             cache.stats.reset()
-            access_many(blocks[warmup_refs:], asids[warmup_refs:], writes[warmup_refs:])
+            stream(warmup_refs, len(blocks))
         else:
-            access_many(blocks, asids, writes)
+            stream(0, len(blocks))
     else:
         access_block = cache.access_block
         for index, (block, asid, write) in enumerate(zip(blocks, asids, writes)):
             if index == warmup_refs and warmup_refs:
                 cache.stats.reset()
             access_block(block, asid, write)
+            if cadence and (index + 1) % cadence == 0:
+                audit_and_emit(cache)
+    if cadence:
+        audit_and_emit(cache)
     if telemetry is not None:
         telemetry.flush_epoch()
     return cache.stats

@@ -176,6 +176,22 @@ class EpochRollover(TelemetryEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class AuditReport(TelemetryEvent):
+    """One full-state invariant audit (:mod:`repro.audit.invariants`).
+
+    Emitted by drivers running with an audit cadence; ``violations``
+    holds the rendered ``[slug] message`` strings (empty when ``ok``).
+    """
+
+    kind: ClassVar[str] = "audit_report"
+
+    accesses: int
+    checks: int
+    ok: bool
+    violations: list[str]
+
+
+@dataclass(frozen=True, slots=True)
 class JobSubmitted(TelemetryEvent):
     """A campaign job entered the schedule (before any execution)."""
 
@@ -246,6 +262,7 @@ EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
         MoleculeGranted,
         MoleculeWithdrawn,
         EpochRollover,
+        AuditReport,
         JobSubmitted,
         JobStarted,
         JobRetried,

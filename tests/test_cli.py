@@ -137,3 +137,66 @@ class TestCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestAuditCommands:
+    def test_fuzz_clean_cell(self, capsys):
+        code = main(
+            ["fuzz", "--ops", "400", "--seed", "1",
+             "--placement", "randy", "--trigger", "constant"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "clean" in captured.out
+        assert "randy/constant" in captured.err
+
+    def test_fuzz_reports_failures(self, capsys, monkeypatch):
+        from repro.molecular.placement import (
+            LRUDirectPlacement,
+            PlacementPolicy,
+        )
+
+        monkeypatch.setattr(
+            LRUDirectPlacement, "on_evict", PlacementPolicy.on_evict
+        )
+        code = main(
+            ["fuzz", "--ops", "2500", "--seed", "3",
+             "--placement", "lru_direct", "--trigger", "constant",
+             "--audit", "200", "--no-shrink"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "placement-recency" in out
+
+    def test_simulate_with_audit(self, capsys):
+        code = main(
+            ["simulate", "--size", "1MB", "--refs", "8000",
+             "--workloads", "ammp", "--audit", "2000"]
+        )
+        assert code == 0
+        assert "miss rate" in capsys.readouterr().out
+
+    def test_audit_flag_parsing(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["simulate"]).audit is None
+        assert parser.parse_args(["simulate", "--audit"]).audit == 100_000
+        assert parser.parse_args(["simulate", "--audit", "5000"]).audit == 5000
+        assert parser.parse_args(["sweep", "table1", "--audit"]).audit == 100_000
+        assert parser.parse_args(["fuzz"]).audit is None
+
+    def test_sweep_audit_exports_environment(self, monkeypatch, tmp_path,
+                                             capsys):
+        # setenv (not delenv) so teardown restores the pre-test state even
+        # though cmd_sweep mutates os.environ directly.
+        monkeypatch.setenv("REPRO_AUDIT", "0")
+        import os
+
+        code = main(
+            ["sweep", "figure6", "--jobs", "1", "--refs", "1000",
+             "--out", str(tmp_path / "store"), "--audit", "500"]
+        )
+        assert code == 0
+        assert os.environ.get("REPRO_AUDIT") == "500"
+        capsys.readouterr()
