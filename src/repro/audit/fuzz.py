@@ -125,14 +125,16 @@ def generate_scenario(
 
 
 def generate_ops(
-    rng: random.Random, scenario: Scenario, count: int
+    rng: random.Random, scenario: Scenario, count: int, faults: bool = False
 ) -> list[Op]:
     """A ``count``-operation stream for ``scenario``.
 
     Each application walks a hot set (sized to stress its partition) with
     a cold tail, ~30 % writes; forced resize rounds and same-cluster
     migrations are sprinkled in so the structural paths fire even on
-    short streams.
+    short streams. With ``faults`` enabled, random fault ops (hard
+    retirement, transient line drops, tile degradation) join the mix —
+    off by default so the established fixed-seed streams stay stable.
     """
     asids = [app.asid for app in scenario.apps]
     hot: dict[int, tuple[int, int]] = {}
@@ -141,6 +143,7 @@ def generate_ops(
         span = rng.randint(48, 384)
         hot[app.asid] = (base, span)
     tile_count = scenario.tiles_per_cluster * scenario.clusters
+    molecule_count = tile_count * scenario.molecules_per_tile
     movable = [app.asid for app in scenario.apps if not app.shared]
     ops: list[Op] = []
     for _ in range(count):
@@ -152,6 +155,23 @@ def generate_ops(
             ops.append(
                 ("migrate", rng.choice(movable), rng.randrange(tile_count))
             )
+            continue
+        if faults and roll < 0.0021:
+            if roll < 0.0013:
+                ops.append(("fault", "hard", rng.randrange(molecule_count)))
+            elif roll < 0.0018:
+                ops.append(
+                    ("fault", "transient", rng.randrange(molecule_count))
+                )
+            else:
+                ops.append(
+                    (
+                        "fault",
+                        "degraded",
+                        rng.randrange(tile_count),
+                        rng.choice((4, 8, 16)),
+                    )
+                )
             continue
         asid = rng.choice(asids)
         base, span = hot[asid]
@@ -222,13 +242,16 @@ def fuzz(
     paths=PATHS,
     shrink: bool = True,
     log=None,
+    faults: bool = False,
 ) -> FuzzReport:
     """Run the differential fuzz sweep over placements × triggers.
 
     Each cell generates its own scenario and stream (deterministic in
     ``seed``), replays it through every oracle path with audits every
     ``audit_every`` operations (default :data:`AUDIT_EPOCH`; the brute
-    path always audits per-op), and shrinks any failure.
+    path always audits per-op), and shrinks any failure. ``faults``
+    mixes random fault schedules (molecule retirement, transient line
+    drops, tile degradation) into every cell's stream.
     """
     if ops < 1:
         raise ConfigError(f"need at least one operation, got {ops}")
@@ -254,7 +277,7 @@ def fuzz(
         for trigger in triggers:
             cell_rng = random.Random(f"{seed}/{placement}/{trigger}")
             scenario = generate_scenario(cell_rng, placement, trigger, seed)
-            stream = generate_ops(cell_rng, scenario, ops)
+            stream = generate_ops(cell_rng, scenario, ops, faults=faults)
             report.cells.append((placement, trigger))
             report.operations += len(stream)
             report.audits += len(stream) // cadence if cadence else 0

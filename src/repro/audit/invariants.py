@@ -27,6 +27,10 @@ slug                      law
 ``shared-bookkeeping``    ``tile.shared_count`` matches the shared-bit
                           molecules, which all live in the tile's shared
                           region
+``fault-retirement``      retired molecules hold no lines, belong to no
+                          region, are unconfigured, and
+                          ``tile.failed_count`` / ``molecules_retired``
+                          match the failed molecules
 ``region-counters``       window counters never exceed cumulative ones
 ``placement-recency``     LRU-Direct touch maps only reference resident
                           blocks (so they cannot grow without bound)
@@ -294,11 +298,42 @@ def _audit_region(audit: _Audit, region, owner: dict[int, object],
 
 
 def _audit_tiles(audit: _Audit, cache, owner: dict[int, object]) -> None:
+    from repro.molecular.molecule import FREE
+
     for tile in cache._tiles.values():
         shared_seen = 0
+        failed_seen = 0
         shared_region = cache._shared_regions.get(tile.tile_id)
         for molecule in tile.molecules:
             owned = owner.get(id(molecule))
+            if molecule.failed:
+                # Retired molecules are out of service: no region may hold
+                # them, they hold no data, and they are unconfigured (so
+                # the probe-equivalence and replacement-view checks above
+                # never see them — they appear in no region's views).
+                failed_seen += 1
+                if owned is not None:
+                    audit.fail(
+                        "fault-retirement",
+                        f"tile {tile.tile_id}: retired molecule "
+                        f"{molecule.molecule_id} is attached to region "
+                        f"asid={owned.asid}",
+                    )
+                if molecule.occupancy():
+                    audit.fail(
+                        "fault-retirement",
+                        f"tile {tile.tile_id}: retired molecule "
+                        f"{molecule.molecule_id} still holds "
+                        f"{molecule.occupancy()} line(s)",
+                    )
+                if molecule.asid != FREE or molecule.shared:
+                    audit.fail(
+                        "fault-retirement",
+                        f"tile {tile.tile_id}: retired molecule "
+                        f"{molecule.molecule_id} is still configured "
+                        f"(asid={molecule.asid}, shared={molecule.shared})",
+                    )
+                continue
             if molecule.is_free:
                 if owned is not None:
                     audit.fail(
@@ -336,6 +371,12 @@ def _audit_tiles(audit: _Audit, cache, owner: dict[int, object]) -> None:
             tile.shared_count == shared_seen,
             f"tile {tile.tile_id}: shared_count {tile.shared_count} != "
             f"{shared_seen} shared molecules",
+        )
+        audit.check(
+            "fault-retirement",
+            tile.failed_count == failed_seen,
+            f"tile {tile.tile_id}: failed_count {tile.failed_count} != "
+            f"{failed_seen} failed molecules",
         )
 
 
@@ -416,6 +457,22 @@ def _audit_molecular_stats(
         "region-counters",
         all(r.molecule_integral >= 0 for r, _ in regions),
         "a region's molecule integral went negative",
+    )
+
+    # Retirement accounting: the cumulative retired counter is never
+    # reset, and neither is a failed flag, so this holds across warm-up
+    # boundaries.
+    failed_total = sum(t.failed_count for t in cache._tiles.values())
+    audit.check(
+        "fault-retirement",
+        stats.molecules_retired == failed_total,
+        f"molecules_retired {stats.molecules_retired} != {failed_total} "
+        f"failed molecules across tiles",
+    )
+    audit.check(
+        "fault-retirement",
+        all(r.pending_repair >= 0 for r, _ in regions),
+        "a region's pending_repair went negative",
     )
 
     # Cross-family conservation needs cache stats and region counters to

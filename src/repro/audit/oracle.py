@@ -26,6 +26,11 @@ trivially shrinkable:
 ``("migrate", asid, tile_id)``
     Re-home an application (ignored when the topology forbids it, in
     every path alike, so streams stay valid under shrinking).
+``("fault", kind, target[, extra_cycles])``
+    Inject one fault (:func:`repro.faults.injector.apply_fault`) at this
+    position in the stream: ``("fault", "hard", 3)`` retires molecule 3,
+    ``("fault", "transient", 3)`` drops one of its lines, and
+    ``("fault", "degraded", 1, 8)`` inflates tile 1's port latency.
 """
 
 from __future__ import annotations
@@ -172,6 +177,19 @@ def _apply_structural(cache: MolecularCache, op: Op) -> None:
             # path alike (topology is scenario state), so skipping keeps
             # the streams comparable and shrinking closed under deletion.
             pass
+    elif op[0] == "fault":
+        from repro.faults.injector import apply_fault
+        from repro.faults.spec import FaultSpec
+
+        apply_fault(
+            cache,
+            FaultSpec(
+                kind=op[1],
+                at=0,  # positional: fires at its place in the stream
+                target=op[2],
+                extra_cycles=op[3] if len(op) > 3 else 0,
+            ),
+        )
     else:  # pragma: no cover - generator bug
         raise ConfigError(f"unknown structural op {op[0]!r}")
 

@@ -242,6 +242,39 @@ def _assemble_figure5(
     return result
 
 
+# ------------------------------------------------------------- degradation
+
+def _decompose_degradation(
+    name: str, refs: int, seed: int, options: dict[str, Any]
+) -> list[JobSpec]:
+    from repro.sim.experiments.degradation import resolve_fractions
+
+    resolved = scaled(refs)
+    # resolve_fractions forces the 0.0 baseline in, so the first spec is
+    # always the fault-free run every other cell is normalised against.
+    return [
+        JobSpec.make(
+            name, "fraction", {"fraction": fraction, "refs": resolved}, seed=seed
+        )
+        for fraction in resolve_fractions(options.get("fractions"))
+    ]
+
+
+def _execute_degradation(spec: JobSpec) -> Any:
+    from repro.sim.experiments.degradation import run_degradation_cell
+
+    params = spec.params_dict
+    return run_degradation_cell(params["fraction"], params["refs"], seed=spec.seed)
+
+
+def _assemble_degradation(
+    specs: list[JobSpec], results: list[Any], options: dict[str, Any]
+):
+    from repro.sim.experiments.degradation import assemble_rows
+
+    return assemble_rows(results)
+
+
 # ---------------------------------------------------------------- registry
 
 def _serial(module: str, func: str) -> Callable[..., Any]:
@@ -298,6 +331,16 @@ _register(ExperimentTarget(
     decompose=_decompose_figure5,
     execute=_execute_figure5,
     assemble=_assemble_figure5,
+))
+_register(ExperimentTarget(
+    name="degradation",
+    default_refs=200_000,
+    description="miss rate and relative IPC vs fraction of failed molecules",
+    serial=_serial("repro.sim.experiments.degradation", "run_degradation"),
+    options=("fractions",),
+    decompose=_decompose_degradation,
+    execute=_execute_degradation,
+    assemble=_assemble_degradation,
 ))
 _register(ExperimentTarget(
     name="figure6",

@@ -34,11 +34,27 @@ Fault injection: ``CampaignRunner(fault_hook=...)`` calls the hook with
 the number of jobs persisted so far after each save; a hook that raises
 simulates a mid-campaign crash *after* durable progress, which is
 exactly what the resume tests need.
+
+Chaos testing: ``CampaignRunner(chaos=ChaosPolicy(...))`` adversarially
+exercises the pool's failure handling with *deterministic* worker
+crashes, hangs and corrupted result payloads (see
+:mod:`repro.faults.chaos`). Each job is sabotaged at most once, and only
+on the pool path — serial and fallback execution stay untouched — so a
+chaos campaign always converges to the same results a clean run
+produces. With ``chaos=None`` the pool submissions are byte-identical to
+a runner built without the feature.
+
+Interruption: SIGINT/SIGTERM (and any ``KeyboardInterrupt``/
+``SystemExit``) abort the dispatch loop, but every job persisted before
+the signal survives in the store — a ``--resume`` completes just the
+rest. The runner emits a ``CampaignInterrupted`` telemetry event and
+re-raises.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import sys
 import time
 from collections import deque
@@ -50,7 +66,10 @@ from typing import Any, Callable
 from repro.campaign.spec import JobSpec
 from repro.campaign.store import ResultStore
 from repro.common.errors import CampaignError, ConfigError
+from repro.faults.chaos import ChaosPolicy
 from repro.telemetry.events import (
+    CampaignInterrupted,
+    ChaosInjected,
     JobCompleted,
     JobRetried,
     JobStarted,
@@ -98,7 +117,10 @@ def execute_spec(payload: dict[str, Any]) -> dict[str, Any]:
     return {"result": result, "elapsed": time.perf_counter() - start}
 
 
-def execute_chunk(payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+def execute_chunk(
+    payloads: list[dict[str, Any]],
+    directives: list[dict[str, Any] | None] | None = None,
+) -> list[dict[str, Any]]:
     """Worker entry point: run several jobs in one pool submission.
 
     Short jobs are dominated by per-submission pickling/IPC and by cold
@@ -108,9 +130,28 @@ def execute_chunk(payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
     ``{"error": exception}`` instead of aborting its chunk-mates, and the
     dispatcher requeues it as a singleton so retry accounting stays per
     spec.
+
+    ``directives`` carries chaos sabotage per payload (``None`` entries
+    are benign): ``crash`` kills the worker process outright, ``hang``
+    sleeps before executing (long enough to trip the dispatcher's
+    timeout), and ``corrupt`` returns a malformed outcome in place of the
+    job's result. The parameter is only ever passed by a chaos-enabled
+    runner.
     """
     outcomes: list[dict[str, Any]] = []
-    for payload in payloads:
+    for position, payload in enumerate(payloads):
+        directive = directives[position] if directives else None
+        if directive is not None:
+            action = directive.get("action")
+            if action == "crash":
+                os._exit(13)  # the pool sees BrokenProcessPool
+            elif action == "hang":
+                time.sleep(float(directive.get("seconds", 30.0)))
+            elif action == "corrupt":
+                # Missing "elapsed": fails the dispatcher's outcome-shape
+                # validation, so the job is retried, never persisted.
+                outcomes.append({"result": "\x00corrupt"})
+                continue
         try:
             outcomes.append(execute_spec(payload))
         except (KeyboardInterrupt, SystemExit):
@@ -175,11 +216,16 @@ class CampaignRunner:
         config: CampaignConfig | None = None,
         telemetry=None,
         fault_hook: Callable[[int], None] | None = None,
+        chaos: ChaosPolicy | None = None,
     ) -> None:
         self.store = store
         self.config = config or CampaignConfig()
         self.telemetry = telemetry
         self.fault_hook = fault_hook
+        self.chaos = chaos
+        #: Job hashes already sabotaged — each job is chaos'd at most
+        #: once, so retries make progress and the campaign converges.
+        self._chaos_fired: set[str] = set()
         self._persisted = 0
 
     # ------------------------------------------------------------ plumbing
@@ -214,6 +260,34 @@ class CampaignRunner:
         )
         if self.fault_hook is not None:
             self.fault_hook(self._persisted)
+
+    def _chaos_directives(
+        self, campaign: str, chunk: list[tuple[int, JobSpec, int]]
+    ) -> list[dict[str, Any] | None] | None:
+        """Sabotage orders for one chunk submission (None = chaos off).
+
+        Deterministic in the policy seed and each job's content hash, and
+        at most one strike per job across the whole campaign.
+        """
+        if self.chaos is None or not self.chaos.active:
+            return None
+        directives: list[dict[str, Any] | None] = []
+        for _index, spec, _attempt in chunk:
+            job_hash = spec.content_hash()
+            directive = None
+            if job_hash not in self._chaos_fired:
+                directive = self.chaos.directive(job_hash)
+                if directive is not None:
+                    self._chaos_fired.add(job_hash)
+                    self._emit(
+                        ChaosInjected(
+                            campaign=campaign,
+                            job=job_hash,
+                            action=directive["action"],
+                        )
+                    )
+            directives.append(directive)
+        return directives
 
     def _next_attempt(
         self, result: CampaignResult, index: int, spec: JobSpec,
@@ -294,12 +368,45 @@ class CampaignRunner:
                 seen.add(job_hash)
                 pending.append((index, spec))
 
-        if self.config.jobs > 1 and len(pending) > 1:
-            result.mode = "pool"
-            self._run_pool(result, pending)
-        else:
-            result.mode = "serial"
-            self._run_serial(result, pending)
+        # SIGTERM normally kills the process outright; translate it into
+        # SystemExit for the duration of the dispatch so the interrupt
+        # path below runs (installable only from the main thread).
+        def raise_sigterm(_signum, _frame):
+            raise SystemExit(143)
+
+        previous_handler = None
+        try:
+            previous_handler = signal.signal(signal.SIGTERM, raise_sigterm)
+        except ValueError:  # not the main thread
+            pass
+        try:
+            if self.config.jobs > 1 and len(pending) > 1:
+                result.mode = "pool"
+                self._run_pool(result, pending)
+            else:
+                result.mode = "serial"
+                self._run_serial(result, pending)
+        except (KeyboardInterrupt, SystemExit) as error:
+            # Everything persisted before the signal survives in the
+            # store; announce how much is left and let the signal
+            # propagate — a --resume completes just the rest.
+            done = sum(1 for h in hashes if h in result.payloads)
+            self._emit(
+                CampaignInterrupted(
+                    campaign=campaign,
+                    signal=(
+                        "SIGINT"
+                        if isinstance(error, KeyboardInterrupt)
+                        else "SIGTERM"
+                    ),
+                    completed=done,
+                    pending=len(hashes) - done,
+                )
+            )
+            raise
+        finally:
+            if previous_handler is not None:
+                signal.signal(signal.SIGTERM, previous_handler)
         result.elapsed = time.perf_counter() - started
         return result
 
@@ -375,10 +482,18 @@ class CampaignRunner:
             while queue or active:
                 while queue and len(active) < workers:
                     chunk = queue.popleft()
-                    future = pool.submit(
-                        execute_chunk,
-                        [spec.as_payload() for _i, spec, _a in chunk],
+                    payloads = [spec.as_payload() for _i, spec, _a in chunk]
+                    directives = self._chaos_directives(
+                        result.campaign, chunk
                     )
+                    if directives is None:
+                        # Chaos off: the submission is byte-identical to
+                        # a runner without the feature.
+                        future = pool.submit(execute_chunk, payloads)
+                    else:
+                        future = pool.submit(
+                            execute_chunk, payloads, directives
+                        )
                     active[future] = (chunk, time.monotonic())
                     for index, spec, attempt in chunk:
                         self._emit(
@@ -445,10 +560,43 @@ class CampaignRunner:
                         for index, spec, attempt in chunk[1:]:
                             queue.append([(index, spec, attempt)])
                     else:
+                        if (
+                            not isinstance(outcomes, list)
+                            or len(outcomes) != len(chunk)
+                        ):
+                            # A corrupted chunk return: requeue every job
+                            # as a singleton, charging the first one.
+                            error = RuntimeError(
+                                "worker returned a malformed chunk: "
+                                f"{type(outcomes).__name__} for "
+                                f"{len(chunk)} job(s)"
+                            )
+                            index, spec, attempt = chunk[0]
+                            attempt = self._next_attempt(
+                                result, index, spec, attempt, error
+                            )
+                            queue.append([(index, spec, attempt)])
+                            for index, spec, attempt in chunk[1:]:
+                                queue.append([(index, spec, attempt)])
+                            continue
                         for (index, spec, attempt), outcome in zip(
                             chunk, outcomes
                         ):
-                            error = outcome.get("error")
+                            if not isinstance(outcome, dict):
+                                error = RuntimeError(
+                                    "worker returned a malformed outcome: "
+                                    f"{type(outcome).__name__}"
+                                )
+                            else:
+                                error = outcome.get("error")
+                                if error is None and (
+                                    "result" not in outcome
+                                    or "elapsed" not in outcome
+                                ):
+                                    error = RuntimeError(
+                                        "worker returned a malformed "
+                                        "outcome: missing result/elapsed"
+                                    )
                             if error is not None:
                                 attempt = self._next_attempt(
                                     result, index, spec, attempt, error

@@ -15,7 +15,9 @@ Commands
     byte-identical to ``experiment``.
 ``simulate``
     Run a workload mix on a molecular or traditional cache; ``--record``
-    writes a telemetry JSONL stream alongside the run.
+    writes a telemetry JSONL stream alongside the run, and ``--faults``
+    schedules hardware faults (molecule retirement, transient line
+    drops, degraded tiles) against a molecular run.
 ``inspect``
     Replay a recorded telemetry stream: resize timeline, per-region
     miss-rate/occupancy/HPM epochs, and a convergence summary.
@@ -24,7 +26,13 @@ Commands
 ``fuzz``
     Differential fuzzing: randomized op streams through every access
     path with the full-state invariant auditor at epoch boundaries;
-    failures are shrunk to a minimal repro.
+    failures are shrunk to a minimal repro. ``--faults`` mixes random
+    fault schedules into every stream.
+``chaos``
+    Chaos-test the campaign runner: run an experiment once cleanly and
+    once under a seeded sabotage policy (worker crashes, hangs,
+    corrupted results) with resume-until-converged, then verify the two
+    outputs are byte-identical.
 
 ``simulate`` and ``sweep`` additionally accept ``--audit [CADENCE]`` to
 run the invariant auditor every CADENCE accesses during the run (sweep
@@ -56,6 +64,21 @@ def parse_size(text: str) -> int:
     if size <= 0:
         raise ConfigError(f"size must be positive, got {text!r}")
     return size
+
+
+def validate_audit_cadence(value: int | None) -> int | None:
+    """Reject a zero/negative ``--audit`` cadence with a usable message.
+
+    ``--audit 0`` used to silently disable the auditor — indistinguishable
+    from a typo that turns the safety net off. Disabling is the default;
+    asking for it explicitly is an error.
+    """
+    if value is not None and value <= 0:
+        raise ConfigError(
+            f"--audit cadence must be a positive access count, got {value}; "
+            "omit the flag to run without auditing"
+        )
+    return value
 
 
 # ---------------------------------------------------------------- commands
@@ -144,9 +167,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim import CMPRunConfig, CMPRunner
     from repro.workloads import get_model
 
+    validate_audit_cadence(args.audit)
     names = [n.strip() for n in args.workloads.split(",") if n.strip()]
     if not names:
         raise ConfigError("no workloads given")
+    faults = None
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        if args.cache != "molecular":
+            raise ConfigError(
+                "--faults needs the molecular cache (got --cache "
+                f"{args.cache})"
+            )
+        faults = FaultPlan.parse(args.faults)
     size = parse_size(args.size)
     traces = {
         asid: get_model(name).generate(args.refs, seed=args.seed, asid=asid)
@@ -192,6 +226,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             args.miss_penalty,
             warmup_refs=args.refs // 4,
             audit_every=args.audit,
+            faults=faults,
         ),
         telemetry=bus,
     )
@@ -214,6 +249,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
               f"{cache.stats.mean_molecules_probed():.1f}")
         print(f"  mean access latency (cycles): "
               f"{cache.stats.mean_latency_cycles():.1f}")
+        if faults is not None:
+            stats = cache.stats
+            print(
+                f"  faults: {stats.faults_injected} injected, "
+                f"{stats.molecules_retired} molecule(s) retired, "
+                f"{stats.molecules_repaired} repaired, "
+                f"{stats.lines_invalidated} line(s) invalidated"
+            )
     if sink is not None:
         print(
             f"  telemetry: {sink.count} events -> {sink.path} "
@@ -229,7 +272,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.campaign import CampaignConfig, CampaignRunner, ResultStore
     from repro.campaign.registry import get_experiment
 
-    if args.audit is not None:
+    if validate_audit_cadence(args.audit) is not None:
         # Worker processes inherit the environment, so this single
         # variable carries the audit cadence into every pool job.
         os.environ["REPRO_AUDIT"] = str(args.audit)
@@ -297,6 +340,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         audit_every=args.audit,
         shrink=not args.no_shrink,
         log=lambda message: print(message, file=sys.stderr),
+        faults=args.faults,
     )
     print(report.summary())
     if report.ok:
@@ -312,6 +356,72 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         for divergence in failure.divergences[:10]:
             print(f"  divergence: {divergence}")
     return 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Clean serial run vs chaos-with-resume run, compared byte-for-byte."""
+    from pathlib import Path
+
+    from repro.campaign import CampaignConfig, CampaignRunner, ResultStore
+    from repro.campaign.registry import get_experiment
+    from repro.faults.chaos import ChaosPolicy
+
+    target = get_experiment(args.name)
+    specs = target.jobs(refs=args.refs, seed=args.seed)
+    out = Path(args.out) if args.out else Path("campaigns") / f"chaos-{args.name}"
+
+    clean = CampaignRunner(
+        ResultStore(out / "clean"), CampaignConfig(jobs=1, resume=False)
+    ).run(specs, campaign=args.name)
+    clean_text = target.assemble_results(specs, clean.results_in_order()).format()
+
+    policy = ChaosPolicy(
+        seed=args.chaos_seed,
+        crash_rate=args.crash,
+        hang_rate=args.hang,
+        corrupt_rate=args.corrupt,
+        hang_seconds=args.hang_seconds,
+    )
+    store = ResultStore(out / "chaos")
+    config = CampaignConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        resume=True,
+    )
+    runs = 0
+    while True:
+        runs += 1
+        runner = CampaignRunner(store, config, chaos=policy)
+        try:
+            outcome = runner.run(specs, campaign=args.name)
+            break
+        except ReproError as error:
+            if runs > args.max_restarts:
+                print(
+                    f"error: chaos campaign still failing after {runs} "
+                    f"run(s): {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(
+                f"chaos: run {runs} died ({error}); resuming from the "
+                f"store",
+                file=sys.stderr,
+            )
+    chaos_text = target.assemble_results(specs, outcome.results_in_order()).format()
+
+    print(chaos_text)
+    identical = chaos_text == clean_text
+    verdict = "IDENTICAL to" if identical else "DIVERGES from"
+    print(
+        f"chaos: policy seed={policy.seed} crash={policy.crash_rate} "
+        f"hang={policy.hang_rate} corrupt={policy.corrupt_rate}; "
+        f"converged in {runs} run(s) ({outcome.summary()}); "
+        f"output {verdict} the clean serial run",
+        file=sys.stderr,
+    )
+    return 0 if identical else 1
 
 
 def cmd_power(args: argparse.Namespace) -> int:
@@ -418,6 +528,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run the invariant auditor every CADENCE "
                                "accesses (default 100000 when the flag is "
                                "given; $REPRO_AUDIT otherwise)")
+    simulate.add_argument("--faults", metavar="SPEC", default=None,
+                          help="comma-separated fault schedule, e.g. "
+                               "'hard@5000:m3,degraded@10000:t1+8' "
+                               "(molecular cache only)")
 
     inspect = sub.add_parser(
         "inspect", help="replay a recorded telemetry JSONL stream"
@@ -445,6 +559,40 @@ def build_parser() -> argparse.ArgumentParser:
                            "harness's 500-op epoch)")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="report failures without minimising them")
+    fuzz.add_argument("--faults", action="store_true",
+                      help="mix random fault schedules (retirement, "
+                           "transient drops, degraded tiles) into every "
+                           "cell's stream")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos-test the campaign runner against a clean serial run",
+    )
+    chaos.add_argument("name", choices=experiment_names())
+    chaos.add_argument("--refs", type=int, default=None,
+                       help="references per application")
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--jobs", type=int, default=2,
+                       help="worker processes for the chaos run")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the sabotage policy")
+    chaos.add_argument("--crash", type=float, default=0.2,
+                       help="per-job worker crash probability")
+    chaos.add_argument("--hang", type=float, default=0.0,
+                       help="per-job hang probability (needs --timeout)")
+    chaos.add_argument("--corrupt", type=float, default=0.2,
+                       help="per-job corrupted-result probability")
+    chaos.add_argument("--hang-seconds", type=float, default=30.0,
+                       help="how long a sabotaged job hangs")
+    chaos.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in seconds")
+    chaos.add_argument("--retries", type=int, default=2,
+                       help="retry budget per job")
+    chaos.add_argument("--max-restarts", type=int, default=3,
+                       help="resume attempts before giving up")
+    chaos.add_argument("--out", default=None,
+                       help="store directory (default: "
+                            "campaigns/chaos-<name>)")
 
     power = sub.add_parser("power", help="evaluate a cache organization")
     power.add_argument("--size", default="8MB")
@@ -463,6 +611,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "inspect": cmd_inspect,
     "fuzz": cmd_fuzz,
+    "chaos": cmd_chaos,
     "power": cmd_power,
 }
 

@@ -1,0 +1,29 @@
+"""Deterministic fault injection and chaos testing.
+
+Two layers of sabotage, both seeded and reproducible:
+
+* **Cache-level faults** (:mod:`repro.faults.spec`,
+  :mod:`repro.faults.injector`) — timed :class:`FaultSpec` entries in a
+  :class:`FaultPlan` fire against a live
+  :class:`~repro.molecular.cache.MolecularCache`: hard faults retire
+  molecules, transient faults drop single lines, degraded faults inflate
+  a tile's port latency. The drivers (:func:`repro.sim.driver.run_trace`,
+  :class:`~repro.sim.cmp.CMPRunner`) fire due faults between references,
+  so the scalar and batched access paths see identical fault timing.
+* **Harness-level chaos** (:mod:`repro.faults.chaos`) — a
+  :class:`ChaosPolicy` makes campaign workers crash, hang or return
+  corrupted payloads, exercising the runner's retry/timeout/resume
+  machinery end to end.
+"""
+
+from repro.faults.chaos import ChaosPolicy
+from repro.faults.injector import FaultInjector, apply_fault
+from repro.faults.spec import FaultPlan, FaultSpec
+
+__all__ = [
+    "ChaosPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "apply_fault",
+]

@@ -1,0 +1,73 @@
+"""Chaos policy for campaign workers: seeded, per-job sabotage.
+
+A :class:`ChaosPolicy` decides — deterministically, from its seed and a
+job's content hash — whether a worker executing that job should crash,
+hang, or return a corrupted payload. The campaign runner consults it
+once per job (the *first* pool execution attempt) and ships the
+directive into the worker, so a chaos run exercises the real recovery
+machinery: crashes break the pool (``BrokenProcessPool`` → requeue),
+hangs trip the sliding-window timeout, and corrupted payloads must be
+rejected by result validation and retried. Because the decision is a
+pure function of ``(seed, job_hash)``, a chaos campaign is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosPolicy:
+    """Sabotage rates for campaign workers.
+
+    Each rate is the probability (over the per-job deterministic roll)
+    of that failure mode; the rates are disjoint and must sum to at most
+    1. ``hang_seconds`` should comfortably exceed the campaign's
+    per-job timeout budget so a hang reliably trips it.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "hang_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        total = self.crash_rate + self.hang_rate + self.corrupt_rate
+        if total > 1.0:
+            raise ConfigError(
+                f"chaos rates sum to {total}; they are disjoint and must "
+                "sum to at most 1"
+            )
+        if self.hang_seconds <= 0:
+            raise ConfigError(
+                f"hang_seconds must be positive, got {self.hang_seconds}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return (self.crash_rate + self.hang_rate + self.corrupt_rate) > 0.0
+
+    def directive(self, job_hash: str) -> dict | None:
+        """The sabotage for one job, or None to leave it alone.
+
+        Deterministic in ``(seed, job_hash)``; the returned dict is
+        JSON-able so it can cross the process boundary with the job
+        payload.
+        """
+        roll = random.Random(f"{self.seed}/{job_hash}").random()
+        if roll < self.crash_rate:
+            return {"action": "crash"}
+        if roll < self.crash_rate + self.hang_rate:
+            return {"action": "hang", "seconds": self.hang_seconds}
+        if roll < self.crash_rate + self.hang_rate + self.corrupt_rate:
+            return {"action": "corrupt"}
+        return None

@@ -1,0 +1,181 @@
+"""Fault schedules: what breaks, when, and how.
+
+A :class:`FaultSpec` names one fault; a :class:`FaultPlan` is an ordered
+schedule of them. Plans are value objects: hashable, JSON round-trippable
+(for campaign job params) and parseable from the CLI's compact
+``--faults`` grammar::
+
+    hard@5000:m3                # retire molecule 3 after 5000 references
+    transient@8000:m3           # drop one resident line of molecule 3
+    degraded@10000:t1+8         # tile 1's port costs 8 extra cycles
+
+Specs are comma-separated; ``at`` is the number of references already
+issued in the run when the fault fires (0 fires before the first
+reference). The plan sorts itself by firing time, so callers may list
+specs in any order.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.common.errors import ConfigError
+
+#: Spec kinds and whether their target is a molecule or a tile.
+KINDS = {
+    "hard": "molecule",
+    "transient": "molecule",
+    "degraded": "tile",
+}
+
+_SPEC_RE = re.compile(
+    r"^(?P<kind>[a-z]+)@(?P<at>\d+):(?P<prefix>[mt])(?P<target>\d+)"
+    r"(?:\+(?P<extra>\d+))?$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``target`` is a molecule id for ``hard``/``transient`` faults and a
+    tile id for ``degraded`` faults; ``extra_cycles`` is only meaningful
+    for ``degraded`` (the port-latency inflation).
+    """
+
+    kind: str
+    at: int
+    target: int
+    extra_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(KINDS)}"
+            )
+        if self.at < 0:
+            raise ConfigError(f"fault time cannot be negative, got {self.at}")
+        if self.target < 0:
+            raise ConfigError(f"fault target cannot be negative, got {self.target}")
+        if self.kind == "degraded":
+            if self.extra_cycles <= 0:
+                raise ConfigError(
+                    "a degraded-tile fault needs extra_cycles > 0, got "
+                    f"{self.extra_cycles}"
+                )
+        elif self.extra_cycles:
+            raise ConfigError(
+                f"extra_cycles only applies to degraded faults, not {self.kind!r}"
+            )
+
+    @property
+    def target_is_tile(self) -> bool:
+        return KINDS[self.kind] == "tile"
+
+    def as_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "kind": self.kind,
+            "at": self.at,
+            "target": self.target,
+        }
+        if self.extra_cycles:
+            payload["extra_cycles"] = self.extra_cycles
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FaultSpec":
+        return cls(
+            kind=payload["kind"],
+            at=payload["at"],
+            target=payload["target"],
+            extra_cycles=payload.get("extra_cycles", 0),
+        )
+
+    def __str__(self) -> str:
+        prefix = "t" if self.target_is_tile else "m"
+        suffix = f"+{self.extra_cycles}" if self.extra_cycles else ""
+        return f"{self.kind}@{self.at}:{prefix}{self.target}{suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An immutable fault schedule, sorted by firing time."""
+
+    specs: tuple[FaultSpec, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.specs, key=lambda spec: spec.at))
+        object.__setattr__(self, "specs", ordered)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the CLI grammar (see the module docstring)."""
+        specs: list[FaultSpec] = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            match = _SPEC_RE.match(part)
+            if match is None:
+                raise ConfigError(
+                    f"cannot parse fault spec {part!r}; expected "
+                    "KIND@AT:TARGET like 'hard@5000:m3', 'transient@8000:m3' "
+                    "or 'degraded@10000:t1+8'"
+                )
+            kind = match["kind"]
+            expected = KINDS.get(kind)
+            if expected is None:
+                raise ConfigError(
+                    f"unknown fault kind {kind!r} in {part!r}; expected one "
+                    f"of {sorted(KINDS)}"
+                )
+            prefix = match["prefix"]
+            if (prefix == "t") != (expected == "tile"):
+                want = "t" if expected == "tile" else "m"
+                raise ConfigError(
+                    f"fault {part!r}: a {kind} fault targets a "
+                    f"{expected} ('{want}<id>'), got '{prefix}{match['target']}'"
+                )
+            extra = match["extra"]
+            if extra is not None and expected != "tile":
+                raise ConfigError(
+                    f"fault {part!r}: '+cycles' only applies to degraded faults"
+                )
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    at=int(match["at"]),
+                    target=int(match["target"]),
+                    extra_cycles=int(extra) if extra is not None else 0,
+                )
+            )
+        if not specs:
+            raise ConfigError(f"fault spec {text!r} names no faults")
+        return cls(tuple(specs))
+
+    @classmethod
+    def of(cls, specs: Iterable[FaultSpec]) -> "FaultPlan":
+        return cls(tuple(specs))
+
+    def as_payload(self) -> list[dict[str, Any]]:
+        """JSON-able form for campaign job params."""
+        return [spec.as_payload() for spec in self.specs]
+
+    @classmethod
+    def from_payload(cls, payload: Iterable[dict[str, Any]]) -> "FaultPlan":
+        return cls(tuple(FaultSpec.from_payload(item) for item in payload))
+
+    def __str__(self) -> str:
+        return ",".join(str(spec) for spec in self.specs)

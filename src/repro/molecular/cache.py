@@ -380,8 +380,9 @@ class MolecularCache:
         home_tile = self._tiles[home_tile_id]
         home_tile.port_accesses += 1
 
-        # Stage 1: ASID comparators fire in every molecule of the home tile.
-        stats.asid_comparisons += len(home_tile.molecules)
+        # Stage 1: ASID comparators fire in every molecule of the home tile
+        # (retired molecules are powered off — their comparators are gone).
+        stats.asid_comparisons += len(home_tile.molecules) - home_tile.failed_count
 
         # Stage 2: probe the matching molecules of the home tile (plus any
         # shared-bit molecules).
@@ -400,13 +401,14 @@ class MolecularCache:
 
         remote_probes = 0
         remote_tiles = 0
+        remote_extra = 0
         if molecule is not None:
             if molecule.tile_id != home_tile_id:
                 cluster = self.cluster_of_tile(home_tile_id)
                 cluster.ulmo.stats.tile_misses += 1
                 cluster.ulmo.stats.remote_hits += 1
-                remote_tiles, remote_probes, comparisons = self._remote_search(
-                    region, molecule.tile_id
+                remote_tiles, remote_probes, comparisons, remote_extra = (
+                    self._remote_search(region, molecule.tile_id)
                 )
                 stats.molecules_probed_remote += remote_probes
                 stats.asid_comparisons += comparisons
@@ -431,8 +433,8 @@ class MolecularCache:
             )
             if has_remote:
                 cluster.ulmo.stats.tile_misses += 1
-                remote_tiles, remote_probes, comparisons = self._remote_search(
-                    region, None
+                remote_tiles, remote_probes, comparisons, remote_extra = (
+                    self._remote_search(region, None)
                 )
                 stats.molecules_probed_remote += remote_probes
                 stats.asid_comparisons += comparisons
@@ -461,7 +463,11 @@ class MolecularCache:
 
         if remote_tiles:
             result.extra["remote_tiles_searched"] = remote_tiles
-        stats.latency_cycles += self.latency_model.cycles(result)
+        stats.latency_cycles += (
+            self.latency_model.cycles(result)
+            + home_tile.extra_port_cycles
+            + remote_extra
+        )
         self.resizer.on_access(stats.total.accesses, region, block)
         bus = self.telemetry
         if bus is not None:
@@ -470,23 +476,27 @@ class MolecularCache:
 
     def _remote_search(
         self, region: CacheRegion, found_tile: int | None
-    ) -> tuple[int, int, int]:
+    ) -> tuple[int, int, int, int]:
         """Walk the region's remote tiles in Ulmo's search order.
 
         Returns ``(tiles searched, molecules probed, ASID comparators
-        fired)`` — the search stops at ``found_tile`` (or covers every
-        contributing tile on a global miss).
+        fired, extra degraded-port cycles)`` — the search stops at
+        ``found_tile`` (or covers every contributing tile on a global
+        miss). Retired molecules fire no comparators; a degraded tile
+        adds its ``extra_port_cycles`` to every search that reaches it.
         """
-        tiles = probes = comparisons = 0
+        tiles = probes = comparisons = extra = 0
         for tile_id in region.contributing_tiles():
             if tile_id == region.home_tile_id:
                 continue
             tiles += 1
             probes += region.molecules_by_tile[tile_id]
-            comparisons += len(self._tiles[tile_id].molecules)
+            tile = self._tiles[tile_id]
+            comparisons += len(tile.molecules) - tile.failed_count
+            extra += tile.extra_port_cycles
             if found_tile is not None and tile_id == found_tile:
                 break
-        return tiles, probes, comparisons
+        return tiles, probes, comparisons, extra
 
     # ------------------------------------------------------------ reporting
 

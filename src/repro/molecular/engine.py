@@ -173,7 +173,7 @@ class AccessEngine:
         ctx.home_tile_id = home_id
         home_tile = cache._tiles[home_id]
         ctx.home_tile = home_tile
-        ctx.home_comparisons = len(home_tile.molecules)
+        ctx.home_comparisons = len(home_tile.molecules) - home_tile.failed_count
 
         shared = cache._shared_regions.get(home_id)
         local_probes = region.molecules_by_tile.get(home_id, 0)
@@ -187,21 +187,24 @@ class AccessEngine:
         ctx.local_probes = local_probes
         ctx.region_lookup = region.presence.get
 
-        # Remote search tables: cumulative (tiles, probes, comparisons)
-        # along Ulmo's deterministic order, keyed by the tile the search
-        # stops at; the final accumulation is the global-miss full walk.
-        tiles = probes = comparisons = 0
-        stop: dict[int, tuple[int, int, int]] = {}
+        # Remote search tables: cumulative (tiles, probes, comparisons,
+        # extra degraded-port cycles) along Ulmo's deterministic order,
+        # keyed by the tile the search stops at; the final accumulation is
+        # the global-miss full walk.
+        tiles = probes = comparisons = extra = 0
+        stop: dict[int, tuple[int, int, int, int]] = {}
         contributing = region.contributing_tiles()
         for tile_id in contributing:
             if tile_id == home_id:
                 continue
             tiles += 1
             probes += region.molecules_by_tile[tile_id]
-            comparisons += len(cache._tiles[tile_id].molecules)
-            stop[tile_id] = (tiles, probes, comparisons)
+            tile = cache._tiles[tile_id]
+            comparisons += len(tile.molecules) - tile.failed_count
+            extra += tile.extra_port_cycles
+            stop[tile_id] = (tiles, probes, comparisons, extra)
         ctx.remote_stop = stop
-        ctx.remote_full = (tiles, probes, comparisons)
+        ctx.remote_full = (tiles, probes, comparisons, extra)
         ctx.has_remote = bool(contributing) and (
             contributing[0] != home_id or len(contributing) > 1
         )
@@ -211,6 +214,9 @@ class AccessEngine:
         ctx.line_multiplier = region.line_multiplier
 
         hit_cycles, memory, dispatch, per_tile = cache.latency_model.constants()
+        # A degraded home tile charges its port penalty on every access,
+        # so it folds straight into the per-access constants.
+        hit_cycles += home_tile.extra_port_cycles
         ctx.hit_cycles = hit_cycles
         ctx.miss_cycles = hit_cycles + memory
         ctx.dispatch_cycles = dispatch
@@ -321,15 +327,16 @@ class AccessEngine:
                     ulmo_stats = ctx.ulmo_stats
                     ulmo_stats.tile_misses += 1
                     ulmo_stats.remote_hits += 1
-                    remote_tiles, remote_probes, comparisons = ctx.remote_stop[
-                        molecule.tile_id
-                    ]
+                    remote_tiles, remote_probes, comparisons, remote_extra = (
+                        ctx.remote_stop[molecule.tile_id]
+                    )
                     stats.molecules_probed_remote += remote_probes
                     stats.asid_comparisons += comparisons + home_comparisons
                     stats.latency_cycles += (
                         hit_cycles
                         + ctx.dispatch_cycles
                         + remote_tiles * ctx.per_tile_cycles
+                        + remote_extra
                     )
                 else:
                     remote_probes = 0
@@ -366,7 +373,9 @@ class AccessEngine:
                 ulmo_stats = ctx.ulmo_stats
                 if ctx.has_remote:
                     ulmo_stats.tile_misses += 1
-                    remote_tiles, remote_probes, comparisons = ctx.remote_full
+                    remote_tiles, remote_probes, comparisons, remote_extra = (
+                        ctx.remote_full
+                    )
                     stats.molecules_probed_remote += remote_probes
                     stats.asid_comparisons += comparisons + home_comparisons
                 else:
@@ -392,7 +401,9 @@ class AccessEngine:
                 cycles = ctx.miss_cycles
                 if remote_tiles:
                     cycles += (
-                        ctx.dispatch_cycles + remote_tiles * ctx.per_tile_cycles
+                        ctx.dispatch_cycles
+                        + remote_tiles * ctx.per_tile_cycles
+                        + remote_extra
                     )
                 stats.latency_cycles += cycles
                 tot.accesses += 1
@@ -481,15 +492,16 @@ class AccessEngine:
                 ulmo_stats = ctx.ulmo_stats
                 ulmo_stats.tile_misses += 1
                 ulmo_stats.remote_hits += 1
-                remote_tiles, remote_probes, comparisons = ctx.remote_stop[
-                    molecule.tile_id
-                ]
+                remote_tiles, remote_probes, comparisons, remote_extra = (
+                    ctx.remote_stop[molecule.tile_id]
+                )
                 stats.molecules_probed_remote += remote_probes
                 stats.asid_comparisons += comparisons + ctx.home_comparisons
                 stats.latency_cycles += (
                     ctx.hit_cycles
                     + ctx.dispatch_cycles
                     + remote_tiles * ctx.per_tile_cycles
+                    + remote_extra
                 )
             else:
                 remote_probes = 0
@@ -527,7 +539,9 @@ class AccessEngine:
             ulmo_stats = ctx.ulmo_stats
             if ctx.has_remote:
                 ulmo_stats.tile_misses += 1
-                remote_tiles, remote_probes, comparisons = ctx.remote_full
+                remote_tiles, remote_probes, comparisons, remote_extra = (
+                    ctx.remote_full
+                )
                 stats.molecules_probed_remote += remote_probes
                 stats.asid_comparisons += comparisons + ctx.home_comparisons
             else:
@@ -551,7 +565,11 @@ class AccessEngine:
             stats.molecules_probed_local += local_probes
             cycles = ctx.miss_cycles
             if remote_tiles:
-                cycles += ctx.dispatch_cycles + remote_tiles * ctx.per_tile_cycles
+                cycles += (
+                    ctx.dispatch_cycles
+                    + remote_tiles * ctx.per_tile_cycles
+                    + remote_extra
+                )
             stats.latency_cycles += cycles
             tot.accesses += 1
             wtot.accesses += 1

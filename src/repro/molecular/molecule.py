@@ -38,6 +38,7 @@ class Molecule:
         "shared",
         "replacement_misses",
         "fills",
+        "failed",
     )
 
     def __init__(
@@ -57,12 +58,16 @@ class Molecule:
         #: per-molecule counter Algorithm 1 uses with Random placement.
         self.replacement_misses: int = 0
         self.fills: int = 0
+        #: Hard-fault flag: a failed molecule is permanently out of
+        #: service — excluded from the free pool, never reconfigured,
+        #: and its ASID comparator no longer fires.
+        self.failed: bool = False
 
     # ------------------------------------------------------------ ownership
 
     @property
     def is_free(self) -> bool:
-        return self.asid == FREE and not self.shared
+        return self.asid == FREE and not self.shared and not self.failed
 
     def configure(self, asid: int, shared: bool = False) -> None:
         """Claim a free molecule for an application (or the shared pool)."""
@@ -141,7 +146,10 @@ class Molecule:
         return sum(1 for block in self.lines if block is not None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
-        owner = "free" if self.is_free else ("shared" if self.shared else self.asid)
+        if self.failed:
+            owner = "failed"
+        else:
+            owner = "free" if self.is_free else ("shared" if self.shared else self.asid)
         return (
             f"Molecule(id={self.molecule_id}, tile={self.tile_id}, "
             f"owner={owner}, occ={self.occupancy()}/{self.n_lines})"

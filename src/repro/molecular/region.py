@@ -68,6 +68,7 @@ class CacheRegion:
         "max_allocation",
         "resize_period",
         "next_resize_at",
+        "pending_repair",
     )
 
     def __init__(
@@ -115,6 +116,10 @@ class CacheRegion:
         self.max_allocation = 0  # set by the resizer at assignment
         self.resize_period = 0  # used by the per-application trigger
         self.next_resize_at = 0
+        #: Molecules lost to hard faults and not yet replaced; the resize
+        #: engine tries to re-grow the region by this much at the start of
+        #: each of its epochs (partial grants stay pending).
+        self.pending_repair = 0
 
     # -------------------------------------------------------------- sizing
 

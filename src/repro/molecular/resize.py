@@ -38,6 +38,7 @@ from repro.molecular.region import CacheRegion
 from repro.telemetry.events import (
     MoleculeGranted,
     MoleculeWithdrawn,
+    RegionRepaired,
     ResizeDecision,
 )
 
@@ -104,6 +105,8 @@ class Resizer:
     def _resize_all(self, total_accesses: int) -> None:
         regions = self._managed_regions()
         for region in regions:
+            self._repair(region, total_accesses)
+        for region in regions:
             self._decide(region, total_accesses)
 
         if self.policy.trigger == "global_adaptive":
@@ -141,6 +144,7 @@ class Resizer:
     # ------------------------------------------------- per-app round
 
     def _resize_one(self, region: CacheRegion, total_accesses: int) -> None:
+        self._repair(region, total_accesses)
         self._decide(region, total_accesses)
         if region.goal is not None:
             if region.window_miss_rate < region.goal:
@@ -251,6 +255,45 @@ class Resizer:
                 period=period,
             )
         )
+
+    # ------------------------------------------------------------- repair
+
+    def _repair(self, region: CacheRegion, total_accesses: int) -> None:
+        """Replace molecules lost to hard faults since the last epoch.
+
+        Runs before Algorithm 1's decision so the decision sees a region
+        restored (as far as the free pool allows) to its pre-fault size.
+        Repair grants do not touch ``last_allocation`` — they are capacity
+        restoration, not Algorithm 1 growth, so the panic branch's clamp
+        must not learn from them. Partial grants leave the remainder
+        pending for the next epoch.
+        """
+        wanted = region.pending_repair
+        if wanted <= 0:
+            return
+        cluster = self.cache.cluster_of_tile(region.home_tile_id)
+        granted = cluster.ulmo.allocate(region.asid, wanted, region.home_tile_id)
+        for molecule in granted:
+            row = self.cache.placement.add_row_index(region)
+            region.add_molecule(molecule, row)
+        if granted:
+            region.pending_repair -= len(granted)
+            self.cache.stats.molecules_repaired += len(granted)
+            self.log.append((total_accesses, region.asid, "repair", len(granted)))
+            bus = getattr(self.cache, "telemetry", None)
+            if bus is not None:
+                bus.emit(
+                    RegionRepaired(
+                        accesses=total_accesses,
+                        asid=region.asid,
+                        requested=wanted,
+                        granted=len(granted),
+                        tiles=sorted({m.tile_id for m in granted}),
+                        molecules=region.molecule_count,
+                    )
+                )
+        else:
+            self.log.append((total_accesses, region.asid, "repair-denied", wanted))
 
     # ------------------------------------------------------------- actions
 

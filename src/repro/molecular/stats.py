@@ -34,6 +34,11 @@ class MolecularStats(CacheStats):
         replacement evictions, counted per ASID in ``total.writebacks``).
     resize_events / molecules_granted / molecules_withdrawn:
         Resize-engine activity.
+    faults_injected / molecules_retired / molecules_repaired /
+    lines_invalidated:
+        Fault-injection activity: faults applied, molecules retired by
+        hard faults, replacement molecules granted by region repair, and
+        lines dropped by transient (detected-uncorrectable) faults.
     resize_compute_cycles:
         Accounted cost of the resize computation (~1500 cycles per
         application per resize, per the paper).
@@ -50,6 +55,10 @@ class MolecularStats(CacheStats):
     molecules_withdrawn: int = 0
     resize_compute_cycles: int = 0
     latency_cycles: int = 0
+    faults_injected: int = 0
+    molecules_retired: int = 0
+    molecules_repaired: int = 0
+    lines_invalidated: int = 0
 
     @property
     def molecules_probed(self) -> int:
@@ -86,6 +95,10 @@ class MolecularStats(CacheStats):
                 "resize_compute_cycles": self.resize_compute_cycles,
                 "latency_cycles": self.latency_cycles,
                 "mean_latency_cycles": self.mean_latency_cycles(),
+                "faults_injected": self.faults_injected,
+                "molecules_retired": self.molecules_retired,
+                "molecules_repaired": self.molecules_repaired,
+                "lines_invalidated": self.lines_invalidated,
             }
         )
         return base

@@ -21,6 +21,8 @@ class Tile:
         "molecules",
         "port_accesses",
         "shared_count",
+        "failed_count",
+        "extra_port_cycles",
     )
 
     def __init__(
@@ -44,6 +46,13 @@ class Tile:
         #: Number of molecules with the shared bit set (probed by every
         #: request on this tile regardless of ASID).
         self.shared_count = 0
+        #: Molecules retired by hard faults. Their ASID comparators are
+        #: powered off, so searches compare against ``len(molecules) -
+        #: failed_count`` comparators on this tile.
+        self.failed_count = 0
+        #: Extra cycles every access through this tile's port pays when
+        #: the tile is degraded by a fault (0 for a healthy tile).
+        self.extra_port_cycles = 0
 
     # ---------------------------------------------------------- free pool
 
@@ -86,6 +95,23 @@ class Tile:
         if molecule.shared:
             self.shared_count -= 1
         return molecule.release()
+
+    def retire(self, molecule: Molecule) -> list[tuple[int, bool]]:
+        """Permanently remove a molecule from service (hard fault).
+
+        Flushes and unconfigures like :meth:`release`, then marks the
+        molecule failed so it can never be reconfigured or counted free.
+        Returns the flushed ``(block, dirty)`` pairs.
+        """
+        flushed = self.release(molecule)
+        molecule.failed = True
+        self.failed_count += 1
+        return flushed
+
+    @property
+    def active_count(self) -> int:
+        """Molecules still in service (configured or free, not failed)."""
+        return len(self.molecules) - self.failed_count
 
     def occupancy_by_asid(self) -> dict[int, int]:
         """Molecule counts per owning ASID (diagnostics)."""

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.audit.invariants import resolve_cadence
 from repro.caches.stats import AsidCounters
 from repro.common.errors import ConfigError
+from repro.faults.spec import FaultPlan
 from repro.telemetry.bus import EventBus, attach_telemetry
 from repro.trace.container import Trace
 
@@ -44,11 +45,17 @@ class CMPRunConfig:
     ``audit_every`` runs the full-state invariant auditor every that many
     issued references (``None`` consults ``$REPRO_AUDIT``; 0 disables —
     the access closure is then exactly the un-audited one).
+
+    ``faults`` schedules a :class:`~repro.faults.spec.FaultPlan` against
+    the run; a spec's ``at`` counts *globally issued* references (the
+    interleaved stream, not any one core's). ``None``/empty leaves the
+    access closure exactly as before.
     """
 
     miss_penalty: float = 10.0
     warmup_refs: int = 100_000
     audit_every: int | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.miss_penalty < 0:
@@ -133,6 +140,23 @@ class CMPRunner:
 
             def access(block: int, asid: int, write: bool) -> bool:
                 return access_block(block, asid, write).hit
+
+        if self.config.faults:
+            if not hasattr(cache, "regions"):
+                raise ConfigError(
+                    "fault injection requires a molecular cache, got "
+                    f"{type(cache).__name__}"
+                )
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(cache, self.config.faults)
+            fault_inner = access
+            fault_issued = [0]
+
+            def access(block: int, asid: int, write: bool) -> bool:
+                injector.fire_due(fault_issued[0])
+                fault_issued[0] += 1
+                return fault_inner(block, asid, write)
 
         cadence = resolve_cadence(self.config.audit_every)
         if cadence:

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from repro.audit.invariants import audit_and_emit, resolve_cadence
 from repro.common.errors import ConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultPlan
 from repro.telemetry.bus import EventBus, attach_telemetry
 from repro.trace.container import Trace
 
@@ -20,6 +22,7 @@ def run_trace(
     warmup_refs: int = 0,
     telemetry: EventBus | None = None,
     audit_every: int | None = None,
+    faults: FaultPlan | None = None,
 ):
     """Stream ``trace`` through ``cache``; returns the cache's stats object.
 
@@ -38,6 +41,13 @@ def run_trace(
     which case the access stream is issued exactly as before (one
     ``access_many`` call per segment; ``benchmarks/`` guards the
     zero-overhead contract).
+
+    ``faults`` schedules a :class:`~repro.faults.spec.FaultPlan` against
+    the run: a spec with ``at=N`` fires after ``N`` references of the
+    *whole run* have been issued (warm-up included — fault time is wall
+    time, not measurement time), before the N+1st; specs at or past the
+    trace length never fire. With no plan the access stream is issued
+    exactly as before (the same zero-overhead contract as auditing).
     """
     if warmup_refs < 0:
         raise ConfigError("warmup_refs cannot be negative")
@@ -47,6 +57,14 @@ def run_trace(
             f"length ({len(trace)}); nothing would be measured"
         )
     cadence = resolve_cadence(audit_every)
+    injector = None
+    if faults:
+        if not hasattr(cache, "regions"):
+            raise ConfigError(
+                "fault injection requires a molecular cache, got "
+                f"{type(cache).__name__}"
+            )
+        injector = FaultInjector(cache, faults)
     attach_telemetry(cache, telemetry)
     blocks = trace.block_list(line_bytes)
     asids = trace.asid_list()
@@ -68,6 +86,21 @@ def run_trace(
                 )
                 audit_and_emit(cache)
 
+        if injector is not None:
+            # Fault-aware wrapper: split the stream at fault firing
+            # points so each due fault lands between the same two
+            # references the scalar loop would put it between.
+            plain_stream = stream
+
+            def stream(lo: int, hi: int) -> None:
+                pos = lo
+                while pos < hi:
+                    injector.fire_due(pos)
+                    next_at = injector.next_at
+                    stop = hi if next_at is None else min(hi, max(next_at, pos + 1))
+                    plain_stream(pos, stop)
+                    pos = stop
+
         if warmup_refs:
             stream(0, warmup_refs)
             cache.stats.reset()
@@ -79,6 +112,8 @@ def run_trace(
         for index, (block, asid, write) in enumerate(zip(blocks, asids, writes)):
             if index == warmup_refs and warmup_refs:
                 cache.stats.reset()
+            if injector is not None:
+                injector.fire_due(index)
             access_block(block, asid, write)
             if cadence and (index + 1) % cadence == 0:
                 audit_and_emit(cache)

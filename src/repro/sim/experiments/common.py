@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.caches.setassoc import SetAssociativeCache
 from repro.common.errors import ConfigError
+from repro.faults.spec import FaultPlan
 from repro.molecular.cache import MolecularCache
 from repro.molecular.config import MolecularCacheConfig, ResizePolicy
 from repro.sim.cmp import CMPRunConfig, CMPRunner, CMPRunResult
@@ -86,13 +87,16 @@ def run_molecular_workload(
     miss_penalty: float = DEFAULT_MISS_PENALTY,
     warmup_refs: int | None = None,
     telemetry: EventBus | None = None,
+    faults: FaultPlan | None = None,
 ) -> MolecularRun:
     """Run the workload on a molecular cache, one region per application.
 
     ``tile_assignment`` maps ASID to home tile; defaults to one tile per
     application in ASID order (the paper's static processor-tile mapping).
     ``telemetry`` records the run through an event bus (see
-    :mod:`repro.telemetry`); the caller closes the bus.
+    :mod:`repro.telemetry`); the caller closes the bus. ``faults``
+    schedules a fault plan against the run (``at`` counts globally issued
+    references of the interleaved stream).
     """
     cache = MolecularCache(
         config, resize_policy=resize_policy or ResizePolicy(), placement=placement
@@ -110,7 +114,9 @@ def run_molecular_workload(
         refs = min(len(t) for t in traces.values())
         warmup_refs = warmup_for(refs, len(traces))
     runner = CMPRunner(
-        cache, CMPRunConfig(miss_penalty, warmup_refs), telemetry=telemetry
+        cache,
+        CMPRunConfig(miss_penalty, warmup_refs, faults=faults),
+        telemetry=telemetry,
     )
     result = runner.run(traces)
     return MolecularRun(result=result, cache=cache)

@@ -1,0 +1,213 @@
+"""Graceful degradation — throughput vs. fraction of failed molecules.
+
+Not a paper table: a robustness experiment for the fault model of
+:mod:`repro.faults`. The SPEC quartet runs on a 1 MB molecular cache
+(one 256 KB tile per application); at the warm-up boundary a fraction of
+all molecules suffers hard faults (round-robin across tiles, so no tile
+is singled out) and the measured window runs entirely on the degraded
+cache. The resizer repairs managed regions from whatever free molecules
+survive, so small fractions should cost almost nothing — the interesting
+part of the curve is where the free pool runs out and capacity is
+genuinely gone.
+
+Reported per fraction: how many molecules actually retired (faults on a
+region at its minimum size are refused) and were re-granted, the
+post-warm-up miss rate, the mean access latency of the cache model, and
+relative IPC — the throughput of the CMP timing model (references per
+unit time) normalised to the fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.faults.spec import FaultPlan, FaultSpec
+from repro.molecular.config import MolecularCacheConfig
+from repro.sim.experiments.common import (
+    build_traces,
+    run_molecular_workload,
+    warmup_for,
+)
+from repro.sim.report import format_table
+from repro.sim.scale import scaled
+from repro.workloads.spec import SPEC_QUARTET
+
+#: Fractions of the cache's molecules hit by hard faults.
+DEFAULT_FRACTIONS = (0.0, 0.125, 0.25, 0.5)
+#: Miss-rate goal every application is managed towards.
+GOAL = 0.25
+
+
+def degradation_config() -> MolecularCacheConfig:
+    """1 MB: one cluster of four 256 KB tiles (32 x 8 KB molecules each)."""
+    return MolecularCacheConfig(
+        molecule_bytes=8 * 1024,
+        molecules_per_tile=32,
+        tiles_per_cluster=4,
+        clusters=1,
+        placement="randy",
+    )
+
+
+def degradation_plan(
+    fraction: float, at: int, config: MolecularCacheConfig | None = None
+) -> FaultPlan:
+    """Hard-fault ``fraction`` of all molecules at ``at``, spread
+    round-robin across tiles (failure is not concentrated on one tile)."""
+    if not 0.0 <= fraction < 1.0:
+        raise ConfigError(
+            f"failed-molecule fraction must be in [0, 1), got {fraction}"
+        )
+    config = config or degradation_config()
+    tiles = config.tiles_per_cluster * config.clusters
+    total = tiles * config.molecules_per_tile
+    count = int(round(fraction * total))
+    return FaultPlan.of(
+        FaultSpec(
+            kind="hard",
+            at=at,
+            target=(i % tiles) * config.molecules_per_tile + i // tiles,
+        )
+        for i in range(count)
+    )
+
+
+@dataclass(slots=True)
+class DegradationRow:
+    """One point of the degradation curve."""
+
+    fraction: float
+    retired: int
+    repaired: int
+    miss_rate: float
+    mean_latency: float
+    throughput: float
+    relative_ipc: float = 1.0
+
+
+@dataclass(slots=True)
+class DegradationResult:
+    """The degradation curve, baseline (fraction 0) first."""
+
+    rows: list[DegradationRow] = field(default_factory=list)
+
+    def row(self, fraction: float) -> DegradationRow:
+        for row in self.rows:
+            if row.fraction == fraction:
+                return row
+        raise KeyError(fraction)
+
+    @property
+    def worst_relative_ipc(self) -> float:
+        return min((row.relative_ipc for row in self.rows), default=1.0)
+
+    def format(self) -> str:
+        table_rows = [
+            [
+                f"{row.fraction:.1%}",
+                row.retired,
+                row.repaired,
+                f"{row.miss_rate:.4f}",
+                f"{row.mean_latency:.2f}",
+                f"{row.relative_ipc:.3f}",
+            ]
+            for row in self.rows
+        ]
+        table = format_table(
+            [
+                "failed fraction",
+                "retired",
+                "repaired",
+                "miss rate",
+                "mean latency",
+                "relative IPC",
+            ],
+            table_rows,
+            title="Degradation — SPEC quartet vs fraction of failed molecules",
+        )
+        return (
+            table
+            + f"\nworst relative IPC: {self.worst_relative_ipc:.3f} "
+            f"(1.000 = fault-free throughput)"
+        )
+
+
+def run_degradation_cell(fraction: float, refs: int, seed: int = 1) -> dict:
+    """One fraction of the curve; returns a JSON-able metrics payload.
+
+    The fault plan fires at the warm-up boundary, so the measured window
+    sees only the degraded cache.
+    """
+    names = list(SPEC_QUARTET)
+    traces = build_traces(names, refs, seed)
+    warmup = warmup_for(refs, len(names))
+    config = degradation_config()
+    run = run_molecular_workload(
+        traces,
+        config,
+        goals={asid: GOAL for asid in range(len(names))},
+        tile_assignment={asid: asid for asid in range(len(names))},
+        warmup_refs=warmup,
+        faults=degradation_plan(fraction, at=warmup, config=config) or None,
+    )
+    stats = run.cache.stats
+    accesses = stats.total.accesses
+    return {
+        "fraction": fraction,
+        "retired": stats.molecules_retired,
+        "repaired": stats.molecules_repaired,
+        "miss_rate": run.result.overall_miss_rate(),
+        "mean_latency": stats.latency_cycles / accesses if accesses else 0.0,
+        "throughput": (
+            run.result.total_refs / run.result.end_time
+            if run.result.end_time
+            else 0.0
+        ),
+    }
+
+
+def resolve_fractions(fractions) -> tuple[float, ...]:
+    """Sorted, deduplicated fractions with the 0.0 baseline forced in."""
+    resolved = sorted({0.0, *(float(f) for f in fractions or DEFAULT_FRACTIONS)})
+    for fraction in resolved:
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigError(
+                f"failed-molecule fraction must be in [0, 1), got {fraction}"
+            )
+    return tuple(resolved)
+
+
+def assemble_rows(cells: list[dict]) -> DegradationResult:
+    """Fold per-fraction payloads (baseline first) into the curve."""
+    result = DegradationResult()
+    baseline = cells[0]["throughput"]
+    for cell in cells:
+        result.rows.append(
+            DegradationRow(
+                fraction=cell["fraction"],
+                retired=cell["retired"],
+                repaired=cell["repaired"],
+                miss_rate=cell["miss_rate"],
+                mean_latency=cell["mean_latency"],
+                throughput=cell["throughput"],
+                relative_ipc=(
+                    cell["throughput"] / baseline if baseline else 1.0
+                ),
+            )
+        )
+    return result
+
+
+def run_degradation(
+    refs_per_app: int = 200_000,
+    seed: int = 1,
+    fractions=None,
+) -> DegradationResult:
+    """Sweep the degradation curve serially."""
+    refs = scaled(refs_per_app)
+    cells = [
+        run_degradation_cell(fraction, refs, seed)
+        for fraction in resolve_fractions(fractions)
+    ]
+    return assemble_rows(cells)

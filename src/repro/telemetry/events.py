@@ -24,6 +24,13 @@ The event vocabulary mirrors the paper's observable dynamics:
   :class:`JobCompleted` — campaign lifecycle (:mod:`repro.campaign`):
   one sweep job scheduled, handed to a worker, transiently failed, and
   made durable in the result store.
+* :class:`FaultInjected` / :class:`MoleculeRetired` /
+  :class:`RegionRepaired` — the fault-injection subsystem
+  (:mod:`repro.faults`): a scheduled fault fired, a molecule was retired
+  by a hard fault, and the resize engine replaced retired capacity.
+* :class:`ChaosInjected` / :class:`CampaignInterrupted` — harness-level
+  chaos (worker crash/hang/corruption) and a campaign stopped by
+  SIGINT/SIGTERM with its completed results persisted.
 
 This module depends only on the standard library so instrumented code
 (`molecular/cache.py`, `molecular/resize.py`) can import it without
@@ -246,6 +253,78 @@ class JobCompleted(TelemetryEvent):
     cached: bool
 
 
+@dataclass(frozen=True, slots=True)
+class FaultInjected(TelemetryEvent):
+    """A scheduled fault fired (:mod:`repro.faults`).
+
+    ``fault`` is the spec kind (``hard`` / ``transient`` / ``degraded``),
+    ``target`` the molecule or tile id, ``applied`` whether the fault had
+    any effect (a hard fault on an already-retired molecule, or a
+    transient fault on an empty molecule, is a no-op) and ``detail`` a
+    short human-readable note (e.g. the block a transient fault dropped).
+    """
+
+    kind: ClassVar[str] = "fault_injected"
+
+    accesses: int
+    fault: str
+    target: int
+    applied: bool
+    detail: str
+
+
+@dataclass(frozen=True, slots=True)
+class MoleculeRetired(TelemetryEvent):
+    """A hard fault permanently removed a molecule from service."""
+
+    kind: ClassVar[str] = "molecule_retired"
+
+    accesses: int
+    molecule: int
+    tile: int
+    asid: int  # owner at retirement time (FREE for a free-pool molecule)
+    shared: bool
+    writebacks: int
+    molecules: int  # owning region's size after retirement (0 if free)
+
+
+@dataclass(frozen=True, slots=True)
+class RegionRepaired(TelemetryEvent):
+    """The resize engine replaced capacity lost to hard faults."""
+
+    kind: ClassVar[str] = "region_repaired"
+
+    accesses: int
+    asid: int
+    requested: int
+    granted: int
+    tiles: list[int]
+    molecules: int
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosInjected(TelemetryEvent):
+    """The campaign chaos policy sabotaged one job's execution."""
+
+    kind: ClassVar[str] = "chaos_injected"
+
+    campaign: str
+    job: str  # the spec's content hash
+    action: str  # crash / hang / corrupt
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignInterrupted(TelemetryEvent):
+    """A campaign stopped on SIGINT/SIGTERM; completed work is durable."""
+
+    kind: ClassVar[str] = "campaign_interrupted"
+
+    campaign: str
+    signal: str  # "SIGINT" / "SIGTERM"
+    completed: int
+    pending: int
+
+
 def _int_keys(table: dict) -> dict[int, Any]:
     """JSON objects stringify integer keys; undo that on replay."""
     return {int(key): value for key, value in table.items()}
@@ -267,6 +346,11 @@ EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
         JobStarted,
         JobRetried,
         JobCompleted,
+        FaultInjected,
+        MoleculeRetired,
+        RegionRepaired,
+        ChaosInjected,
+        CampaignInterrupted,
     )
 }
 

@@ -157,7 +157,8 @@ class TestResultStore:
 class TestRegistry:
     def test_every_cli_experiment_is_registered(self):
         assert experiment_names() == [
-            "table1", "table2", "table4", "table5", "figure5", "figure6",
+            "table1", "table2", "table4", "table5", "figure5",
+            "degradation", "figure6",
         ]
 
     def test_defaults_match_the_old_cli_ladder(self):
@@ -167,6 +168,7 @@ class TestRegistry:
             "table4": 150_000,
             "table5": 300_000,
             "figure5": 400_000,
+            "degradation": 200_000,
             "figure6": 300_000,
         }
         for name, refs in expected.items():

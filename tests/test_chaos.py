@@ -1,0 +1,373 @@
+"""Tests for campaign chaos testing and graceful interruption.
+
+Covers the :class:`~repro.faults.chaos.ChaosPolicy` (seeded, per-job
+sabotage decisions), the runner's chaos plumbing (directives consulted
+once per job, zero-cost when disabled), the worker-side directive
+handling in ``execute_chunk``, the end-to-end convergence guarantee (a
+chaos campaign's reassembled output is byte-identical to a clean serial
+run), and SIGINT/SIGTERM interruption with durable progress plus a
+``CampaignInterrupted`` telemetry event.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    JobSpec,
+    ResultStore,
+    get_experiment,
+)
+from repro.campaign.runner import execute_chunk
+from repro.common.errors import ConfigError
+from repro.faults import ChaosPolicy
+from repro.telemetry import EventBus, RingBufferSink
+from repro.telemetry.events import CampaignInterrupted, ChaosInjected
+
+#: Same tiny-scale pin as tests/test_campaign.py: real numbers, fast jobs.
+TINY_SCALE = "0.02"
+
+
+@pytest.fixture(autouse=True)
+def _tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", TINY_SCALE)
+
+
+def _bus():
+    sink = RingBufferSink()
+    return sink, EventBus([sink], epoch_refs=0)
+
+
+# ------------------------------------------------------------------ policy
+
+
+class TestChaosPolicy:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ConfigError):
+            ChaosPolicy(crash_rate=-0.1)
+        with pytest.raises(ConfigError):
+            ChaosPolicy(hang_rate=1.5)
+        with pytest.raises(ConfigError):
+            ChaosPolicy(crash_rate=0.5, hang_rate=0.4, corrupt_rate=0.2)
+
+    def test_hang_seconds_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            ChaosPolicy(hang_rate=0.1, hang_seconds=0.0)
+
+    def test_active_only_with_nonzero_rates(self):
+        assert not ChaosPolicy().active
+        assert not ChaosPolicy(seed=7).active
+        assert ChaosPolicy(crash_rate=0.01).active
+        assert ChaosPolicy(corrupt_rate=1.0).active
+
+    def test_directive_is_deterministic_in_seed_and_hash(self):
+        hashes = [f"hash-{i}" for i in range(64)]
+        a = ChaosPolicy(seed=3, crash_rate=0.3, hang_rate=0.3,
+                        corrupt_rate=0.3)
+        b = ChaosPolicy(seed=3, crash_rate=0.3, hang_rate=0.3,
+                        corrupt_rate=0.3)
+        assert [a.directive(h) for h in hashes] == [
+            b.directive(h) for h in hashes
+        ]
+
+    def test_saturated_rate_always_fires_that_action(self):
+        hashes = [f"hash-{i}" for i in range(16)]
+        assert all(
+            ChaosPolicy(crash_rate=1.0).directive(h) == {"action": "crash"}
+            for h in hashes
+        )
+        assert all(
+            ChaosPolicy(corrupt_rate=1.0).directive(h)
+            == {"action": "corrupt"}
+            for h in hashes
+        )
+        hang = ChaosPolicy(hang_rate=1.0, hang_seconds=2.5).directive("x")
+        assert hang == {"action": "hang", "seconds": 2.5}
+
+    def test_rates_partition_the_roll(self):
+        """Every action (and leniency) shows up across enough hashes."""
+        policy = ChaosPolicy(
+            seed=1, crash_rate=0.3, hang_rate=0.3, corrupt_rate=0.3
+        )
+        actions = {
+            (policy.directive(f"hash-{i}") or {}).get("action")
+            for i in range(200)
+        }
+        assert actions == {"crash", "hang", "corrupt", None}
+
+
+# ------------------------------------------------- runner chaos directives
+
+
+def _specs(count: int = 4) -> list[JobSpec]:
+    return [
+        JobSpec.make("table1", "combo", {"x": i}, seed=1) for i in range(count)
+    ]
+
+
+def _chunk(specs: list[JobSpec]):
+    return [(index, spec, 1) for index, spec in enumerate(specs)]
+
+
+class TestChaosDirectives:
+    def test_disabled_chaos_returns_none(self, tmp_path):
+        """The zero-cost contract: no policy (or an inactive one) means
+        the runner submits exactly the same pool call as before the
+        feature existed — ``_chaos_directives`` must say so with None."""
+        chunk = _chunk(_specs())
+        runner = CampaignRunner(ResultStore(tmp_path))
+        assert runner._chaos_directives("c", chunk) is None
+        inactive = CampaignRunner(
+            ResultStore(tmp_path), chaos=ChaosPolicy(seed=9)
+        )
+        assert inactive._chaos_directives("c", chunk) is None
+
+    def test_each_job_is_sabotaged_at_most_once(self, tmp_path):
+        specs = _specs()
+        sink, bus = _bus()
+        runner = CampaignRunner(
+            ResultStore(tmp_path),
+            telemetry=bus,
+            chaos=ChaosPolicy(seed=0, crash_rate=1.0),
+        )
+        first = runner._chaos_directives("c", _chunk(specs))
+        assert first == [{"action": "crash"}] * len(specs)
+        # the retry submission of the same jobs is left alone
+        second = runner._chaos_directives("c", _chunk(specs))
+        assert second == [None] * len(specs)
+        injected = [e for e in sink.events() if isinstance(e, ChaosInjected)]
+        assert len(injected) == len(specs)
+        assert {e.job for e in injected} == {
+            s.content_hash() for s in specs
+        }
+        assert all(e.action == "crash" for e in injected)
+
+
+# --------------------------------------------------------- worker behaviour
+
+
+class TestExecuteChunkDirectives:
+    def _payload(self):
+        target = get_experiment("table1")
+        return target.jobs(refs=1000)[0].as_payload()
+
+    def test_no_directives_matches_benign_directives(self):
+        payload = self._payload()
+        plain = execute_chunk([payload])
+        benign = execute_chunk([payload], [None])
+        assert plain[0]["result"] == benign[0]["result"]
+        assert "elapsed" in plain[0] and "elapsed" in benign[0]
+
+    def test_corrupt_directive_returns_malformed_outcome(self):
+        (outcome,) = execute_chunk(
+            [self._payload()], [{"action": "corrupt"}]
+        )
+        # The shape the dispatcher's validation must reject: no elapsed.
+        assert outcome == {"result": "\x00corrupt"}
+        assert "elapsed" not in outcome
+
+    def test_hang_directive_sleeps_then_executes(self):
+        (outcome,) = execute_chunk(
+            [self._payload()], [{"action": "hang", "seconds": 0.01}]
+        )
+        assert "result" in outcome and "elapsed" in outcome
+
+
+# ------------------------------------------------------ chaos campaign run
+
+
+def _pick_chaos_seed(hashes: list[str]) -> ChaosPolicy:
+    """A seed whose directives hit these jobs with exactly one crash and
+    at least one corruption — enough sabotage to exercise the pool's
+    recovery paths without tripping the serial-fallback circuit breaker.
+    Scanning is deterministic, so the test never flakes."""
+    for seed in range(1000):
+        policy = ChaosPolicy(seed=seed, crash_rate=0.3, corrupt_rate=0.3)
+        actions = [
+            (policy.directive(h) or {}).get("action") for h in hashes
+        ]
+        if actions.count("crash") == 1 and actions.count("corrupt") >= 1:
+            return policy
+    raise AssertionError("no suitable chaos seed in range")
+
+
+class TestChaosCampaign:
+    def test_chaos_run_is_byte_identical_to_clean_serial(self, tmp_path):
+        """The headline guarantee: crashes and corrupted payloads change
+        nothing about the reassembled output, only the road there."""
+        target = get_experiment("degradation")
+        specs = target.jobs(refs=12_000)
+        clean = CampaignRunner(
+            ResultStore(tmp_path / "clean"), CampaignConfig(jobs=1)
+        ).run(specs, campaign="degradation")
+        clean_text = target.assemble_results(
+            specs, clean.results_in_order()
+        ).format()
+
+        policy = _pick_chaos_seed([s.content_hash() for s in specs])
+        sink, bus = _bus()
+        chaos_store = ResultStore(tmp_path / "chaos")
+        outcome = CampaignRunner(
+            chaos_store,
+            CampaignConfig(jobs=2, retries=3, backoff=0.0),
+            telemetry=bus,
+            chaos=policy,
+        ).run(specs, campaign="degradation")
+        chaos_text = target.assemble_results(
+            specs, outcome.results_in_order()
+        ).format()
+        assert chaos_text == clean_text
+
+        if outcome.mode == "pool":  # sandboxes may force serial-fallback
+            injected = [
+                e for e in sink.events() if isinstance(e, ChaosInjected)
+            ]
+            assert {e.action for e in injected} >= {"crash", "corrupt"}
+            # every sabotaged job had to burn at least one retry
+            assert outcome.retried >= len(injected)
+
+        # resume-after-chaos: everything is durable, nothing re-executes
+        resumed = CampaignRunner(
+            chaos_store, CampaignConfig(jobs=1)
+        ).run(specs, campaign="degradation")
+        assert resumed.executed == 0
+        assert len(resumed.cached) == len(specs)
+        resumed_text = target.assemble_results(
+            specs, resumed.results_in_order()
+        ).format()
+        assert resumed_text == clean_text
+
+    def test_serial_campaigns_ignore_chaos(self, tmp_path):
+        """Chaos only sabotages the pool path; a jobs=1 campaign with an
+        aggressive policy still completes cleanly in one pass."""
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)
+        outcome = CampaignRunner(
+            ResultStore(tmp_path),
+            CampaignConfig(jobs=1),
+            chaos=ChaosPolicy(seed=0, crash_rate=1.0),
+        ).run(specs, campaign="table1")
+        assert outcome.mode == "serial"
+        assert outcome.executed == len(specs)
+        assert outcome.retried == 0
+
+
+# ------------------------------------------------------------ interruption
+
+
+class TestInterruption:
+    def _interrupt_after(self, tmp_path, n, raiser):
+        """Run table1, aborting via ``raiser`` after ``n`` persists."""
+
+        def hook(persisted: int) -> None:
+            if persisted >= n:
+                raiser()
+
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)
+        sink, bus = _bus()
+        store = ResultStore(tmp_path)
+        runner = CampaignRunner(
+            store, CampaignConfig(jobs=1), telemetry=bus, fault_hook=hook
+        )
+        return target, specs, store, sink, runner
+
+    def test_sigint_emits_interrupted_event_and_preserves_progress(
+        self, tmp_path
+    ):
+        def raise_sigint():
+            raise KeyboardInterrupt
+
+        target, specs, store, sink, runner = self._interrupt_after(
+            tmp_path, 3, raise_sigint
+        )
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(specs, campaign="table1")
+        events = [
+            e for e in sink.events() if isinstance(e, CampaignInterrupted)
+        ]
+        assert len(events) == 1
+        assert events[0].signal == "SIGINT"
+        assert events[0].completed == 3
+        assert events[0].pending == len(specs) - 3
+        done = store.completed([s.content_hash() for s in specs])
+        assert len(done) == 3
+
+    def test_real_sigterm_is_trapped_and_reported(self, tmp_path):
+        """An actual SIGTERM delivered mid-campaign goes through the
+        runner's translated handler: the event says SIGTERM, progress
+        survives, and SystemExit propagates to the caller."""
+
+        def deliver_sigterm():
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        target, specs, store, sink, runner = self._interrupt_after(
+            tmp_path, 2, deliver_sigterm
+        )
+        with pytest.raises(SystemExit):
+            runner.run(specs, campaign="table1")
+        events = [
+            e for e in sink.events() if isinstance(e, CampaignInterrupted)
+        ]
+        assert len(events) == 1
+        assert events[0].signal == "SIGTERM"
+        assert events[0].completed == 2
+        assert len(store.completed([s.content_hash() for s in specs])) == 2
+
+    def test_sigterm_handler_is_restored_after_the_run(self, tmp_path):
+        target = get_experiment("table2")
+        specs = target.jobs(refs=1000)
+        before = signal.getsignal(signal.SIGTERM)
+        CampaignRunner(ResultStore(tmp_path), CampaignConfig(jobs=1)).run(
+            specs, campaign="table2"
+        )
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_resumed_run_after_interrupt_completes_the_rest(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance scenario: interrupt, resume, finish — and the
+        final output matches an uninterrupted serial run byte for byte."""
+
+        def raise_sigint():
+            raise KeyboardInterrupt
+
+        target, specs, store, _sink, runner = self._interrupt_after(
+            tmp_path / "interrupted", 3, raise_sigint
+        )
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(specs, campaign="table1")
+
+        executed: list[str] = []
+        import repro.campaign.runner as runner_mod
+
+        original = runner_mod.execute_spec
+
+        def counting(payload):
+            executed.append(payload["job"])
+            return original(payload)
+
+        monkeypatch.setattr(runner_mod, "execute_spec", counting)
+        resumed = CampaignRunner(store, CampaignConfig(jobs=1)).run(
+            specs, campaign="table1"
+        )
+        assert len(executed) == len(specs) - 3
+        assert resumed.executed == len(specs) - 3
+        assert len(resumed.cached) == 3
+        resumed_text = target.assemble_results(
+            specs, resumed.results_in_order()
+        ).format()
+
+        monkeypatch.setattr(runner_mod, "execute_spec", original)
+        clean = CampaignRunner(
+            ResultStore(tmp_path / "clean"), CampaignConfig(jobs=1)
+        ).run(specs, campaign="table1")
+        clean_text = target.assemble_results(
+            specs, clean.results_in_order()
+        ).format()
+        assert resumed_text == clean_text

@@ -1,0 +1,186 @@
+"""Resizer edge cases: floors, exhausted pools, and repair/shrink races.
+
+Satellite coverage for the fault-tolerance work: Algorithm 1's actions at
+the boundaries — withdrawing into the ``min_molecules`` floor, growing
+against an empty free pool, and a fault repair racing a goal-driven
+shrink inside the same resize epoch.
+"""
+
+from __future__ import annotations
+
+from repro.audit.invariants import assert_invariants
+from repro.common.rng import XorShift64
+from repro.faults import FaultSpec, apply_fault
+from repro.molecular.cache import MolecularCache
+from repro.molecular.config import MolecularCacheConfig, ResizePolicy
+
+
+def build_cache():
+    """Two managed regions (2 molecules each) on 3 tiles x 6 molecules."""
+    config = MolecularCacheConfig(
+        molecule_bytes=512,
+        line_bytes=64,
+        molecules_per_tile=6,
+        tiles_per_cluster=3,
+        clusters=1,
+        strict=False,
+    )
+    policy = ResizePolicy(
+        period=200, trigger="constant", min_window_refs=16, period_floor=50
+    )
+    cache = MolecularCache(
+        config, policy, placement="randy", rng=XorShift64(11)
+    )
+    cache.assign_application(0, goal=0.2, tile_id=0, initial_molecules=2)
+    cache.assign_application(1, goal=0.3, tile_id=1, initial_molecules=2)
+    return cache
+
+
+def actions_for(cache, asid: int) -> list[tuple[str, int]]:
+    """(action, amount) log entries for one region, in order."""
+    return [
+        (action, amount)
+        for _count, logged_asid, action, amount in cache.resizer.log
+        if logged_asid == asid
+    ]
+
+
+# ------------------------------------------------------------ min_molecules
+
+
+class TestWithdrawFloor:
+    def test_withdraw_stops_at_the_region_floor(self):
+        cache = build_cache()
+        region = cache.regions[0]
+        cache.resizer._grow(region, 4, 0)
+        assert region.molecule_count == 6
+        # ask for far more than the floor allows
+        cache.resizer._withdraw(region, 100, 1)
+        floor = cache.resize_policy.min_molecules
+        assert region.molecule_count == floor
+        assert actions_for(cache, 0)[-1] == ("withdraw", 6 - floor)
+        assert_invariants(cache)
+
+    def test_withdraw_at_the_floor_is_a_silent_no_op(self):
+        cache = build_cache()
+        region = cache.regions[0]
+        assert region.molecule_count == cache.resize_policy.min_molecules
+        before = len(cache.resizer.log)
+        cache.resizer._withdraw(region, 5, 1)
+        assert region.molecule_count == cache.resize_policy.min_molecules
+        assert len(cache.resizer.log) == before  # nothing happened
+        assert cache.stats.molecules_withdrawn == 0
+
+    def test_decide_clamps_shrink_to_the_floor(self):
+        """A region already at the floor with a tiny miss rate holds its
+        size: the sqrt-shrink amount is clamped to zero, not logged."""
+        cache = build_cache()
+        region = cache.regions[0]
+        region.window_accesses = 200
+        region.window_misses = 20  # 10% << goal * withdraw_margin
+        cache.resizer.force_resize()
+        assert region.molecule_count == cache.resize_policy.min_molecules
+        assert ("withdraw" not in
+                {action for action, _amount in actions_for(cache, 0)})
+
+
+# ----------------------------------------------------------- exhausted pool
+
+
+class TestGrowExhaustion:
+    def test_grow_against_an_empty_pool_logs_grow_denied(self):
+        cache = build_cache()
+        region = cache.regions[0]
+        # drain the cluster's free pool (allocate grants partial fills,
+        # so the first oversized request takes everything that is left)
+        for _ in range(10):
+            cache.resizer._grow(region, 100, 0)
+            if actions_for(cache, 0)[-1][0] == "grow-denied":
+                break
+        history = actions_for(cache, 0)
+        assert history[0][0] == "grow"
+        assert history[-1] == ("grow-denied", 100)
+        assert region.molecule_count == 2 + sum(
+            amount for action, amount in history if action == "grow"
+        )
+        assert_invariants(cache)
+
+    def test_denied_grow_leaves_last_allocation_alone(self):
+        cache = build_cache()
+        region = cache.regions[0]
+        cache.resizer._grow(region, 1000, 0)  # takes the whole pool
+        granted = actions_for(cache, 0)[-1][1]
+        assert region.last_allocation == granted
+        cache.resizer._grow(region, 3, 1)
+        assert actions_for(cache, 0)[-1] == ("grow-denied", 3)
+        assert region.last_allocation == granted
+
+    def test_partial_repair_leaves_the_remainder_pending(self):
+        cache = build_cache()
+        # leave exactly one free molecule in the cluster
+        cache.resizer._grow(cache.regions[1], 13, 0)
+        region = cache.regions[0]
+        region.pending_repair = 2
+        cache.resizer._repair(region, 1)
+        assert region.pending_repair == 1
+        assert actions_for(cache, 0)[-1] == ("repair", 1)
+        # nothing left: the next epoch's attempt is denied outright
+        cache.resizer._repair(region, 2)
+        assert region.pending_repair == 1
+        assert actions_for(cache, 0)[-1] == ("repair-denied", 1)
+        assert_invariants(cache)
+
+
+# ------------------------------------------------------ repair/shrink race
+
+
+class TestRepairShrinkRace:
+    def test_repair_then_goal_driven_shrink_in_one_epoch(self):
+        """A region can be repaired and shrunk in the same resize round:
+        repair restores the faulted capacity first, then Algorithm 1
+        decides on the restored size — both actions land in the log for
+        the same epoch and the bookkeeping stays consistent."""
+        cache = build_cache()
+        region = cache.regions[0]
+        cache.resizer._grow(region, 4, 0)
+        last_allocation = region.last_allocation
+        victim = next(region.molecules())
+        assert apply_fault(
+            cache, FaultSpec(kind="hard", at=0, target=victim.molecule_id)
+        )
+        assert region.pending_repair == 1
+        assert region.molecule_count == 5
+
+        # a window well under goal * withdraw_margin forces a shrink
+        region.window_accesses = 200
+        region.window_misses = 20
+        cache.resizer.force_resize()
+
+        history = actions_for(cache, 0)
+        assert ("repair", 1) in history
+        repair_at = history.index(("repair", 1))
+        shrinks = [
+            i for i, (action, _a) in enumerate(history) if action == "withdraw"
+        ]
+        assert shrinks and shrinks[-1] > repair_at  # repair ran first
+        # repair restored to 6, then sqrt(6 * 0.1 / 0.2) ~ 2 withdrew
+        assert region.molecule_count == 4
+        # repair is capacity restoration, not a grant: the panic clamp's
+        # memory of the last Algorithm-1 grant is untouched
+        assert region.last_allocation == last_allocation
+        assert region.pending_repair == 0
+        assert cache.stats.molecules_repaired == 1
+        assert_invariants(cache)
+
+    def test_repair_does_not_count_as_algorithm1_growth(self):
+        cache = build_cache()
+        region = cache.regions[0]
+        victim = next(region.molecules())
+        apply_fault(
+            cache, FaultSpec(kind="hard", at=0, target=victim.molecule_id)
+        )
+        before = region.last_allocation
+        cache.resizer._repair(region, 1)
+        assert region.last_allocation == before
+        assert cache.stats.molecules_granted == 0
+        assert cache.stats.molecules_repaired == 1
