@@ -5,41 +5,46 @@ one round — these are minutes-long simulations, not microbenchmarks),
 prints the same rows/series the paper's table or figure reports, and saves
 the text into ``benchmarks/results/`` for EXPERIMENTS.md.
 
+Benches that measure something diffable also record it in the
+machine-readable ledger (``benchmarks/results/ledger/``) by passing
+``metrics=`` to :func:`emit`; ``repro bench-report`` diffs consecutive
+runs and flags regressions (see :mod:`repro.prof.ledger`).
+
 Scale with ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=0.25`` for a quick pass).
 """
 
 from __future__ import annotations
 
-import os
-import tempfile
 from pathlib import Path
 
+from repro.common.io import atomic_write_text
+from repro.prof.ledger import write_entry
+
 RESULTS_DIR = Path(__file__).parent / "results"
+LEDGER_DIR = RESULTS_DIR / "ledger"
+
+# Hoisted out of emit(): one mkdir at collection time, not one syscall
+# per result block.
+RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
 
-def emit(name: str, text: str) -> None:
+def emit(name: str, text: str, metrics: list[dict] | None = None) -> None:
     """Print a result block and persist it under benchmarks/results/.
 
-    The write is atomic (same-directory tmp file + rename) so a bench
-    killed mid-write never leaves a truncated ``results/*.txt``.
+    The write is atomic (``repro.common.io.atomic_write_text``: same-
+    directory tmp file + rename) so a bench killed mid-write never leaves
+    a truncated ``results/*.txt``.
+
+    ``metrics`` entries are ledger records: dicts with at least
+    ``metric``/``value``/``unit`` (plus any other
+    :func:`repro.prof.ledger.write_entry` keyword, e.g.
+    ``direction="higher"`` for throughputs).
     """
     banner = f"\n{'#' * 70}\n{text}\n{'#' * 70}"
     print(banner)
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    target = RESULTS_DIR / f"{name}.txt"
-    fd, tmp_name = tempfile.mkstemp(
-        dir=RESULTS_DIR, prefix=f"{name}.", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            fh.write(text + "\n")
-        os.replace(tmp_name, target)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
+    for metric in metrics or []:
+        write_entry(LEDGER_DIR, **metric)
 
 
 def run_once(benchmark, func):

@@ -1,0 +1,160 @@
+"""Guard: the hot-path profiler is cheap when on, free when off.
+
+Three contracts from the observability issue's acceptance criteria:
+
+* **Enabled overhead <= 5 %**: a profiled ``access_many`` run at the
+  default 1/512 sampling stays within ``ENABLED_OVERHEAD_BUDGET`` of an
+  unprofiled run (min-of-repeats timing; the budget is overridable for
+  unusual hardware).
+* **Attribution sums**: the report's per-stage times plus the exact
+  resize time reproduce the measured wall clock to within 10 %. The
+  distribution step makes this true by construction, so the check
+  guards the bookkeeping (a stage dropped from the report, resize
+  counted twice) rather than the arithmetic.
+* **Statistically zero when off**: with no profiler attached the
+  dispatch is one ``cache.profiler`` attribute check per ``access_many``
+  *call*; the structural proof lives in
+  ``tests/test_prof_zero_cost.py``, and the timing check here only has
+  to catch a gross regression (the budget absorbs CI noise).
+
+Measured throughput and overhead feed the benchmark ledger, so
+``repro bench-report`` diffs them across runs.
+"""
+
+from __future__ import annotations
+
+import os
+import timeit
+
+from conftest import emit
+from repro.common.rng import XorShift64
+from repro.molecular import MolecularCache, MolecularCacheConfig, ResizePolicy
+from repro.prof import HotPathProfiler
+
+N_REFS = 50_000
+REPEATS = 5
+
+#: Profiled (1/512 sampling) vs unprofiled access_many, min-of-repeats.
+ENABLED_OVERHEAD_BUDGET = float(
+    os.environ.get("REPRO_PROF_ENABLED_BUDGET", "0.05")
+)
+#: Attached-but-disabled profiler vs no profiler at all.
+DISABLED_OVERHEAD_BUDGET = float(
+    os.environ.get("REPRO_PROF_DISABLED_BUDGET", "0.05")
+)
+#: Stage times + resize time must reproduce the wall clock this closely.
+ATTRIBUTION_TOLERANCE = 0.10
+
+
+def build_cache() -> MolecularCache:
+    config = MolecularCacheConfig.for_total_size(
+        1 << 20, clusters=1, tiles_per_cluster=4, strict=False
+    )
+    cache = MolecularCache(
+        config, resize_policy=ResizePolicy(), rng=XorShift64(5)
+    )
+    cache.assign_application(0, goal=0.2, tile_id=0)
+    return cache
+
+
+def make_blocks() -> list[int]:
+    rng = XorShift64(11)
+    return [rng.randrange(1 << 14) for _ in range(N_REFS)]
+
+
+def time_stream(profiler) -> float:
+    """Min-of-repeats seconds for one access_many pass (fresh cache each)."""
+
+    def run():
+        cache = build_cache()
+        if profiler is not None:
+            profiler.reset()
+            cache.attach_profiler(profiler)
+        cache.access_many(make_blocks(), 0)
+
+    return min(timeit.repeat(run, number=1, repeat=REPEATS))
+
+
+def test_enabled_overhead_within_budget():
+    blocks = make_blocks()
+    base = time_stream(None)
+    profiler = HotPathProfiler()  # default 1/512 sampling
+    profiled = time_stream(profiler)
+    overhead = profiled / base - 1.0
+    throughput = len(blocks) / profiled
+    emit(
+        "perf_prof_overhead",
+        "Hot-path profiler overhead "
+        f"({N_REFS} refs, molecular 1MB/4-tile, 1/512 sampling)\n"
+        f"  unprofiled access_many : {base:.3f}s "
+        f"({len(blocks) / base:,.0f} refs/s)\n"
+        f"  profiled access_many   : {profiled:.3f}s "
+        f"({throughput:,.0f} refs/s)\n"
+        f"  overhead               : {overhead:+.1%} "
+        f"(budget {ENABLED_OVERHEAD_BUDGET:.0%})",
+        metrics=[
+            {
+                "metric": "prof_enabled_overhead",
+                "value": max(overhead, 0.0),
+                "unit": "fraction",
+                "direction": "lower",
+            },
+            {
+                "metric": "prof_profiled_refs_per_sec",
+                "value": throughput,
+                "unit": "refs/s",
+                "direction": "higher",
+            },
+        ],
+    )
+    assert overhead <= ENABLED_OVERHEAD_BUDGET, (
+        f"profiling adds {overhead:.1%} to the batched hot path "
+        f"(budget {ENABLED_OVERHEAD_BUDGET:.0%})"
+    )
+
+
+def test_disabled_profiler_within_noise():
+    base = time_stream(None)
+
+    def disabled_run():
+        cache = build_cache()
+        profiler = HotPathProfiler()
+        profiler.enabled = False
+        cache.attach_profiler(profiler)
+        cache.access_many(make_blocks(), 0)
+
+    disabled = min(timeit.repeat(disabled_run, number=1, repeat=REPEATS))
+    overhead = disabled / base - 1.0
+    print(
+        f"\nno-profiler={base:.3f}s attached-disabled={disabled:.3f}s "
+        f"overhead={overhead:+.1%}"
+    )
+    assert overhead <= DISABLED_OVERHEAD_BUDGET, (
+        f"a disabled profiler adds {overhead:.1%} per run "
+        f"(budget {DISABLED_OVERHEAD_BUDGET:.0%}) — the dispatch check "
+        "leaked into the per-reference path"
+    )
+
+
+def test_stage_attribution_sums_to_wall():
+    cache = build_cache()
+    profiler = HotPathProfiler(sample_every=128)
+    cache.attach_profiler(profiler)
+    cache.access_many(make_blocks(), 0)
+
+    report = profiler.report()
+    wall = report["wall_s"]
+    attributed = (
+        sum(info["time_s"] for info in report["stages"].values())
+        + report["resize"]["time_s"]
+    )
+    deviation = abs(attributed - wall) / wall
+    print(
+        f"\nwall={wall * 1e3:.1f}ms attributed={attributed * 1e3:.1f}ms "
+        f"deviation={deviation:.2%} samples={report['samples']}"
+    )
+    assert report["samples"] > 0
+    assert deviation <= ATTRIBUTION_TOLERANCE, (
+        f"per-stage attribution reproduces only {1 - deviation:.1%} of the "
+        f"wall clock (tolerance {ATTRIBUTION_TOLERANCE:.0%})"
+    )

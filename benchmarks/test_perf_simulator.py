@@ -141,6 +141,20 @@ def test_molecular_batched_speedup(blocks):
         f"({throughput:,.0f} refs/s)\n"
         f"  speedup             : {speedup:.2f}x "
         f"(floor {MIN_BATCHED_SPEEDUP:.1f}x)",
+        metrics=[
+            {
+                "metric": "molecular_batched_refs_per_sec",
+                "value": throughput,
+                "unit": "refs/s",
+                "direction": "higher",
+            },
+            {
+                "metric": "molecular_batched_speedup",
+                "value": speedup,
+                "unit": "x",
+                "direction": "higher",
+            },
+        ],
     )
     assert speedup >= MIN_BATCHED_SPEEDUP, (
         f"batched engine only {speedup:.2f}x over scalar "

@@ -65,8 +65,10 @@ from typing import Any, Callable
 
 from repro.campaign.spec import JobSpec
 from repro.campaign.store import ResultStore
+from repro.common.clock import tick
 from repro.common.errors import CampaignError, ConfigError
 from repro.faults.chaos import ChaosPolicy
+from repro.prof.spans import DISPATCHER_TID, SpanRecorder
 from repro.telemetry.events import (
     CampaignInterrupted,
     ChaosInjected,
@@ -111,10 +113,20 @@ def execute_spec(payload: dict[str, Any]) -> dict[str, Any]:
     from repro.campaign.registry import execute_job
 
     spec = JobSpec.from_payload(payload)
-    start = time.perf_counter()
+    # One clock (repro.common.clock.tick) for elapsed, deadlines and span
+    # timestamps; monotonic is system-wide, so these worker-side marks
+    # are directly comparable with the dispatcher's submission times.
+    started = tick()
     with _scale_env(spec.scale):
         result = execute_job(spec)
-    return {"result": result, "elapsed": time.perf_counter() - start}
+    ended = tick()
+    return {
+        "result": result,
+        "elapsed": ended - started,
+        "started": started,
+        "ended": ended,
+        "pid": os.getpid(),
+    }
 
 
 def execute_chunk(
@@ -217,12 +229,18 @@ class CampaignRunner:
         telemetry=None,
         fault_hook: Callable[[int], None] | None = None,
         chaos: ChaosPolicy | None = None,
+        spans: SpanRecorder | None = None,
     ) -> None:
         self.store = store
         self.config = config or CampaignConfig()
         self.telemetry = telemetry
         self.fault_hook = fault_hook
         self.chaos = chaos
+        #: Span recorder for queue/execute/store timelines, or None.
+        #: Worker outcomes may lack timestamps (tests monkeypatch
+        #: execute_spec with bare {"result", "elapsed"} dicts), so every
+        #: span site reads them with ``.get`` and skips what is missing.
+        self.spans = spans
         #: Job hashes already sabotaged — each job is chaos'd at most
         #: once, so retries make progress and the campaign converges.
         self._chaos_fired: set[str] = set()
@@ -242,9 +260,16 @@ class CampaignRunner:
         outcome: dict[str, Any],
         attempt: int,
     ) -> None:
+        save_started = tick()
         job_hash = self.store.save(
             spec, outcome["result"], outcome["elapsed"], attempt
         )
+        if self.spans is not None:
+            self.spans.span(
+                f"store {spec.label()}", "store", save_started, tick(),
+                args={"job": job_hash, "attempt": attempt},
+            )
+            self._record_job_span(spec, outcome, attempt)
         result.payloads[job_hash] = outcome["result"]
         result.executed += 1
         self._persisted += 1
@@ -260,6 +285,59 @@ class CampaignRunner:
         )
         if self.fault_hook is not None:
             self.fault_hook(self._persisted)
+
+    def _record_job_span(
+        self, spec: JobSpec, outcome: dict[str, Any], attempt: int
+    ) -> None:
+        """One ``job`` span on the executing worker's track, if timed."""
+        started = outcome.get("started")
+        ended = outcome.get("ended")
+        if started is None or ended is None:
+            return  # a monkeypatched/legacy worker without timestamps
+        pid = outcome.get("pid", DISPATCHER_TID)
+        self.spans.name_track(
+            pid, "dispatcher" if pid == DISPATCHER_TID else f"worker {pid}"
+        )
+        self.spans.span(
+            spec.label(), "job", started, ended, tid=pid,
+            args={"attempt": attempt, "experiment": spec.experiment},
+        )
+
+    def _record_chunk_spans(
+        self,
+        chunk: list[tuple[int, JobSpec, int]],
+        outcomes: list[dict[str, Any]],
+        submitted: float,
+    ) -> None:
+        """``queue`` + ``chunk`` spans for one pool submission.
+
+        Queue-wait runs from the dispatcher's submit mark to the first
+        worker-side ``started`` timestamp — both on the shared monotonic
+        clock, so the difference is meaningful across processes.
+        """
+        timed = [
+            outcome
+            for outcome in outcomes
+            if isinstance(outcome, dict)
+            and outcome.get("started") is not None
+            and outcome.get("ended") is not None
+        ]
+        if not timed:
+            return
+        first_start = min(outcome["started"] for outcome in timed)
+        last_end = max(outcome["ended"] for outcome in timed)
+        pid = timed[0].get("pid", DISPATCHER_TID)
+        self.spans.name_track(
+            pid, "dispatcher" if pid == DISPATCHER_TID else f"worker {pid}"
+        )
+        self.spans.span(
+            f"queue ({len(chunk)} job(s))", "queue", submitted, first_start,
+            args={"jobs": len(chunk)},
+        )
+        self.spans.span(
+            f"chunk ({len(chunk)} job(s))", "chunk", first_start, last_end,
+            tid=pid, args={"jobs": len(chunk)},
+        )
 
     def _chaos_directives(
         self, campaign: str, chunk: list[tuple[int, JobSpec, int]]
@@ -307,6 +385,15 @@ class CampaignRunner:
                 f"job {spec.label()} failed after {attempt} attempt(s): {error}"
             ) from error
         result.retried += 1
+        if self.spans is not None:
+            self.spans.instant(
+                "retry", "retry", tick(),
+                args={
+                    "job": spec.label(),
+                    "attempt": attempt + 1,
+                    "error": str(error) or type(error).__name__,
+                },
+            )
         self._emit(
             JobRetried(
                 campaign=result.campaign,
@@ -332,7 +419,7 @@ class CampaignRunner:
         """Execute ``specs``; every completed job lands in the store."""
         if not specs:
             raise ConfigError("a campaign needs at least one job spec")
-        started = time.perf_counter()
+        started = tick()
         result = CampaignResult(campaign=campaign, specs=list(specs))
         self._persisted = 0
         self.store.write_manifest(campaign, result.specs, options or {})
@@ -407,7 +494,19 @@ class CampaignRunner:
         finally:
             if previous_handler is not None:
                 signal.signal(signal.SIGTERM, previous_handler)
-        result.elapsed = time.perf_counter() - started
+            if self.spans is not None:
+                self.spans.name_track(DISPATCHER_TID, "dispatcher")
+                self.spans.span(
+                    f"campaign {campaign}", "campaign", started, tick(),
+                    args={
+                        "jobs": len(result.specs),
+                        "executed": result.executed,
+                        "cached": len(result.cached),
+                        "retried": result.retried,
+                        "mode": result.mode,
+                    },
+                )
+        result.elapsed = tick() - started
         return result
 
     # -------------------------------------------------------------- serial
@@ -494,7 +593,7 @@ class CampaignRunner:
                         future = pool.submit(
                             execute_chunk, payloads, directives
                         )
-                    active[future] = (chunk, time.monotonic())
+                    active[future] = (chunk, tick())
                     for index, spec, attempt in chunk:
                         self._emit(
                             JobStarted(
@@ -510,7 +609,7 @@ class CampaignRunner:
                 )
                 broken = False
                 for future in done:
-                    chunk, _t0 = active.pop(future)
+                    chunk, submitted = active.pop(future)
                     try:
                         outcomes = future.result()
                     except (BrokenProcessPool, OSError) as error:
@@ -519,6 +618,15 @@ class CampaignRunner:
                         # job of the surfacing chunk one attempt, and
                         # rebuild the pool.
                         pool_breaks += 1
+                        if self.spans is not None:
+                            self.spans.instant(
+                                "pool-break", "pool", tick(),
+                                args={
+                                    "breaks": pool_breaks,
+                                    "error": str(error)
+                                    or type(error).__name__,
+                                },
+                            )
                         if pool_breaks > self.config.retries + 1:
                             print(
                                 "campaign: worker pool keeps breaking; "
@@ -579,6 +687,10 @@ class CampaignRunner:
                             for index, spec, attempt in chunk[1:]:
                                 queue.append([(index, spec, attempt)])
                             continue
+                        if self.spans is not None:
+                            self._record_chunk_spans(
+                                chunk, outcomes, submitted
+                            )
                         for (index, spec, attempt), outcome in zip(
                             chunk, outcomes
                         ):
@@ -611,7 +723,7 @@ class CampaignRunner:
                 if self.config.timeout is not None and active:
                     # The budget scales with chunk length: ``timeout``
                     # stays a *per-job* bound, as in serial mode.
-                    now = time.monotonic()
+                    now = tick()
                     expired = [
                         future
                         for future, (queued, t0) in active.items()
@@ -626,6 +738,15 @@ class CampaignRunner:
                         # next round.
                         for future in expired:
                             chunk, _t0 = active.pop(future)
+                            if self.spans is not None:
+                                self.spans.instant(
+                                    "timeout", "timeout", now,
+                                    args={
+                                        "jobs": len(chunk),
+                                        "budget_s": self.config.timeout
+                                        * len(chunk),
+                                    },
+                                )
                             for index, spec, attempt in chunk:
                                 attempt = self._next_attempt(
                                     result, index, spec, attempt,

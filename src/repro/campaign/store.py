@@ -18,34 +18,15 @@ identical specs a pure cache hit.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Iterable
 
 from repro.common.errors import ConfigError
+from repro.common.io import atomic_write_json as _atomic_write_json
 from repro.campaign.spec import JobSpec
 
 #: Manifest schema version, bumped on incompatible layout changes.
 MANIFEST_VERSION = 1
-
-
-def _atomic_write_json(path: Path, payload: Any) -> None:
-    """Write ``payload`` as JSON via a same-directory tmp file + rename."""
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, separators=(",", ":"), sort_keys=True)
-            fh.write("\n")
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
 
 
 class ResultStore:

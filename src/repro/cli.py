@@ -23,6 +23,15 @@ Commands
     miss-rate/occupancy/HPM epochs, and a convergence summary.
 ``power``
     Evaluate a cache organization with the analytical power model.
+``trace-export``
+    Summarise a span trace recorded by ``sweep --spans`` (per-category
+    durations, queue-wait share, retry/timeout markers) or write a
+    category-filtered copy for Perfetto.
+``bench-report``
+    Diff the machine-readable benchmark ledger
+    (``benchmarks/results/ledger/``): pair each metric's latest entry
+    with the previous same-scale one and fail on changes beyond
+    ``--threshold`` in the worse direction (``--soft`` reports only).
 ``fuzz``
     Differential fuzzing: randomized op streams through every access
     path with the full-state invariant auditor at epoch boundaries;
@@ -37,6 +46,9 @@ Commands
 ``simulate`` and ``sweep`` additionally accept ``--audit [CADENCE]`` to
 run the invariant auditor every CADENCE accesses during the run (sweep
 propagates the cadence to campaign workers via ``$REPRO_AUDIT``).
+``simulate --profile [SAMPLE]`` prints a per-stage hot-path breakdown
+(see :mod:`repro.prof`); ``sweep --spans PATH`` records a
+Chrome-tracing timeline of the campaign.
 """
 
 from __future__ import annotations
@@ -220,6 +232,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 remote_search_sample=args.record_remote_sample,
             )
 
+    profiler = None
+    if args.profile is not None:
+        if args.cache != "molecular":
+            print(
+                "warning: --profile needs the molecular cache; not profiling",
+                file=sys.stderr,
+            )
+        else:
+            from repro.prof import HotPathProfiler
+
+            profiler = HotPathProfiler(sample_every=args.profile)
+            cache.attach_profiler(profiler)
+
     runner = CMPRunner(
         cache,
         CMPRunConfig(
@@ -230,11 +255,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         ),
         telemetry=bus,
     )
+    # The CMP runner issues references one at a time through sessions, so
+    # the profiler cannot see stream wall clock — measure the run here
+    # and hand it to the report.
+    from repro.common.clock import tick
+
+    run_started = tick()
     try:
         result = runner.run(traces)
     finally:
         if bus is not None:
             bus.close()
+    run_wall = tick() - run_started
     print(f"{args.cache} cache, {args.size}, {len(names)} applications:")
     for asid, name in enumerate(names):
         print(f"  {name:10s} miss rate {result.miss_rate(asid):.3f}")
@@ -262,6 +294,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"  telemetry: {sink.count} events -> {sink.path} "
             f"(replay with `python -m repro inspect {sink.path}`)"
         )
+    if profiler is not None:
+        print(profiler.format_report(run_wall))
     return 0
 
 
@@ -297,12 +331,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         sink = JsonlSink(args.record)
         bus = EventBus([sink], epoch_refs=0)
 
-    runner = CampaignRunner(store, config, telemetry=bus)
+    spans = None
+    if args.spans:
+        from repro.prof import SpanRecorder
+
+        spans = SpanRecorder()
+
+    runner = CampaignRunner(store, config, telemetry=bus, spans=spans)
     try:
         outcome = runner.run(specs, campaign=args.name, options=options)
     finally:
         if bus is not None:
             bus.close()
+        if spans is not None:
+            # Export whatever was recorded even on an interrupt — a
+            # partial timeline is exactly what post-mortems need.
+            path = spans.export(args.spans)
+            print(
+                f"campaign spans: {len(spans)} events -> {path} "
+                "(load in Perfetto / chrome://tracing, or summarise with "
+                f"`python -m repro trace-export {path}`)",
+                file=sys.stderr,
+            )
 
     result = target.assemble_results(
         specs, outcome.results_in_order(), **options
@@ -440,6 +490,47 @@ def cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    """Summarise a recorded span trace, optionally writing a filtered copy."""
+    from repro.prof import load_trace, summarize_trace
+    from repro.prof.spans import filter_trace
+
+    events = load_trace(args.trace)
+    if args.category:
+        events = filter_trace(events, args.category)
+    print(summarize_trace(events))
+    if args.out:
+        from repro.common.io import atomic_write_json
+
+        atomic_write_json(
+            args.out,
+            {"traceEvents": events, "displayTimeUnit": "ms"},
+            sort_keys=False,
+        )
+        print(f"wrote {len(events)} event(s) -> {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    """Diff the benchmark ledger; non-zero exit on a regression (unless --soft)."""
+    from repro.prof.ledger import diff_ledger, format_report, read_ledger
+
+    entries = read_ledger(args.ledger)
+    if args.validate:
+        # read_ledger already validated every entry against the schema.
+        print(f"ledger OK: {len(entries)} valid entr(y/ies) in {args.ledger}")
+    diffs = diff_ledger(entries, threshold=args.threshold)
+    print(format_report(diffs, args.threshold))
+    regressions = [diff for diff in diffs if diff.regression]
+    if regressions and args.soft:
+        print(
+            "bench-report: --soft set; reporting only, not failing",
+            file=sys.stderr,
+        )
+        return 0
+    return 1 if regressions else 0
+
+
 # ------------------------------------------------------------------ parser
 
 
@@ -498,6 +589,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the invariant auditor every CADENCE "
                             "accesses inside every job (default 100000; "
                             "propagated to workers via $REPRO_AUDIT)")
+    sweep.add_argument("--spans", metavar="PATH", default=None,
+                       help="record job/chunk/queue/store spans to a "
+                            "Chrome-tracing JSON file (view in Perfetto or "
+                            "chrome://tracing)")
 
     simulate = sub.add_parser("simulate", help="run a workload mix on a cache")
     simulate.add_argument("--cache", choices=["molecular", "setassoc"],
@@ -532,6 +627,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated fault schedule, e.g. "
                                "'hard@5000:m3,degraded@10000:t1+8' "
                                "(molecular cache only)")
+    simulate.add_argument("--profile", metavar="SAMPLE", nargs="?", type=int,
+                          const=512, default=None,
+                          help="print a per-stage hot-path breakdown; one "
+                               "access in every SAMPLE is stage-timed "
+                               "(default 512; molecular cache only)")
 
     inspect = sub.add_parser(
         "inspect", help="replay a recorded telemetry JSONL stream"
@@ -600,6 +700,37 @@ def build_parser() -> argparse.ArgumentParser:
     power.add_argument("--line", type=int, default=64)
     power.add_argument("--ports", type=int, default=4)
 
+    trace_export = sub.add_parser(
+        "trace-export",
+        help="summarise or filter a recorded campaign span trace",
+    )
+    trace_export.add_argument("trace", help="span JSON written by "
+                                            "`repro sweep --spans`")
+    trace_export.add_argument("--category", default=None,
+                              help="keep only one span category "
+                                   "(job, chunk, queue, store, campaign)")
+    trace_export.add_argument("--out", default=None,
+                              help="write the (filtered) trace to a new "
+                                   "Chrome-tracing JSON file")
+
+    bench_report = sub.add_parser(
+        "bench-report",
+        help="diff the benchmark ledger and flag perf regressions",
+    )
+    bench_report.add_argument("--ledger",
+                              default="benchmarks/results/ledger",
+                              help="ledger directory (default: "
+                                   "benchmarks/results/ledger)")
+    bench_report.add_argument("--threshold", type=float, default=0.20,
+                              help="regression threshold as a fraction "
+                                   "(default 0.20 = 20%%)")
+    bench_report.add_argument("--soft", action="store_true",
+                              help="report regressions but exit 0 "
+                                   "(CI soft gate)")
+    bench_report.add_argument("--validate", action="store_true",
+                              help="also report that every entry passed "
+                                   "schema validation")
+
     return parser
 
 
@@ -613,6 +744,8 @@ _COMMANDS = {
     "fuzz": cmd_fuzz,
     "chaos": cmd_chaos,
     "power": cmd_power,
+    "trace-export": cmd_trace_export,
+    "bench-report": cmd_bench_report,
 }
 
 

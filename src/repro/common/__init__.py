@@ -13,6 +13,8 @@ from repro.common.bitops import (
     is_power_of_two,
     next_power_of_two,
 )
+from repro.common.clock import elapsed_since, tick
+from repro.common.io import atomic_write_json, atomic_write_text
 from repro.common.errors import (
     AllocationError,
     ConfigError,
@@ -37,9 +39,13 @@ __all__ = [
     "XorShift64",
     "align_down",
     "align_up",
+    "atomic_write_json",
+    "atomic_write_text",
     "bit_slice",
+    "elapsed_since",
     "block_address",
     "ilog2",
     "is_power_of_two",
     "next_power_of_two",
+    "tick",
 ]

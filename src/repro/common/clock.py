@@ -1,0 +1,38 @@
+"""The one clock every elapsed/deadline computation uses.
+
+The campaign runner used to mix ``time.perf_counter`` (job elapsed
+times) with ``time.monotonic`` (chunk submission deadlines). On Linux
+those are *different* kernel clocks (``CLOCK_MONOTONIC`` vs, depending
+on the CPython build, ``CLOCK_MONOTONIC_RAW``) that drift relative to
+each other, so span timestamps derived from one and timeout arithmetic
+derived from the other could disagree. Everything now routes through
+:func:`tick`.
+
+``tick`` is ``time.monotonic`` deliberately:
+
+* it is system-wide on the platforms we run on, so a timestamp taken in
+  a campaign worker process is directly comparable with one taken in
+  the dispatcher — which is what turns (submit, start, end) triples
+  into queue-wait/execute spans;
+* it never goes backwards, so deadlines computed from it are safe.
+
+Timestamps from :func:`tick` are *durations from an arbitrary origin*
+(boot, typically), never wall-clock times; anything persisted for humans
+should pair them with :func:`time.time` separately.
+"""
+
+from __future__ import annotations
+
+from time import monotonic as _monotonic
+
+__all__ = ["elapsed_since", "tick"]
+
+
+def tick() -> float:
+    """Seconds on the shared monotonic clock (arbitrary origin)."""
+    return _monotonic()
+
+
+def elapsed_since(start: float) -> float:
+    """Seconds elapsed since a ``tick()`` value ``start``."""
+    return _monotonic() - start

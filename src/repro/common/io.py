@@ -1,0 +1,46 @@
+"""Atomic file writes shared by every on-disk artifact.
+
+One idiom, used by the campaign result store, the benchmark results
+directory and the performance ledger: write to a same-directory
+temporary file, then ``os.replace`` onto the target. A process killed
+mid-write leaves at most an orphaned ``*.tmp`` — never a truncated
+JSON/text file that a later reader would choke on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["atomic_write_json", "atomic_write_text"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Replace ``path`` with ``text`` via a same-directory tmp + rename."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: str | Path, payload: Any, sort_keys: bool = True
+) -> None:
+    """Serialise ``payload`` as compact JSON and write it atomically."""
+    atomic_write_text(
+        path,
+        json.dumps(payload, separators=(",", ":"), sort_keys=sort_keys) + "\n",
+    )

@@ -119,6 +119,10 @@ class MolecularCache:
         #: Attached telemetry bus, or None. The access loop's only
         #: telemetry cost when disabled is the ``is None`` check on this.
         self.telemetry = None
+        #: Attached hot-path profiler, or None. Checked once per
+        #: ``access_many``/``access_session`` call — never per reference
+        #: (``tests/test_prof_zero_cost.py`` counts the lookups).
+        self.profiler = None
         #: Context epoch for the batched access engine: bumped by every
         #: cache-level event that can invalidate a cached per-region
         #: access context (region assignment, shared-region creation,
@@ -164,6 +168,24 @@ class MolecularCache:
         if bus is not None:
             bus.bind_cache(None)
         return bus
+
+    # ------------------------------------------------------------ profiling
+
+    def attach_profiler(self, profiler):
+        """Attach a :class:`~repro.prof.profiler.HotPathProfiler`.
+
+        Subsequent ``access_many``/``access_session`` calls build the
+        stage-instrumented engine; the resizer times its rounds into the
+        profiler. Stats, telemetry and resize behaviour are unaffected
+        (the profiled paths are byte-identical to the plain ones).
+        """
+        self.profiler = profiler
+        return profiler
+
+    def detach_profiler(self):
+        """Detach and return the current profiler (None when absent)."""
+        profiler, self.profiler = self.profiler, None
+        return profiler
 
     # ------------------------------------------------------------ topology
 
@@ -347,6 +369,11 @@ class MolecularCache:
         decisions and telemetry streams (see
         :mod:`repro.molecular.engine`).
         """
+        profiler = self.profiler
+        if profiler is not None and profiler.enabled:
+            from repro.prof.engine import ProfiledAccessEngine
+
+            return ProfiledAccessEngine(self).stream(blocks, asids, writes)
         from repro.molecular.engine import AccessEngine
 
         return AccessEngine(self).stream(blocks, asids, writes)
@@ -361,6 +388,11 @@ class MolecularCache:
         do not reset :attr:`stats` while one is live — build a new
         session instead.
         """
+        profiler = self.profiler
+        if profiler is not None and profiler.enabled:
+            from repro.prof.engine import ProfiledAccessEngine
+
+            return ProfiledAccessEngine(self)
         from repro.molecular.engine import AccessEngine
 
         return AccessEngine(self)

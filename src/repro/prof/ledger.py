@@ -1,0 +1,296 @@
+"""The benchmark ledger: machine-readable perf history with diffing.
+
+``benchmarks/results/*.txt`` captures what a bench printed; the ledger
+captures what it *measured*, durably enough to diff across commits. One
+JSON file per (metric, run) under ``benchmarks/results/ledger/``::
+
+    {"schema": 1, "metric": "molecular_refs_per_sec", "value": 812345.0,
+     "unit": "refs/s", "direction": "higher", "scale": 1.0,
+     "sha": "54c6880…", "timestamp": 1754560000.0, "extra": {}}
+
+``direction`` says which way is better (``"lower"`` for times and
+overheads, ``"higher"`` for throughputs); ``scale`` pins the
+``REPRO_SCALE`` the run used so entries from quick passes are never
+diffed against paper-scale ones. Writes go through the same atomic
+tmp-file+rename path as every other artifact
+(:func:`repro.common.io.atomic_write_json`), so a killed bench never
+leaves a truncated entry.
+
+``repro bench-report`` reads the ledger, pairs each metric's latest
+entry with the previous same-scale one, and flags changes beyond a
+configurable threshold in the *worse* direction. CI runs it as a soft
+gate (annotate-only) after the ``bench-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.errors import ConfigError
+from repro.common.io import atomic_write_json
+
+#: Bumped on incompatible entry-layout changes.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Default ledger location, relative to the repository root / CWD.
+DEFAULT_LEDGER_DIR = Path("benchmarks") / "results" / "ledger"
+
+#: Metric slugs double as file-name stems, so keep them boring.
+_METRIC_RE = re.compile(r"^[a-z0-9][a-z0-9_.-]*$")
+
+_DIRECTIONS = ("lower", "higher")
+
+_git_sha_cache: dict[str, str] = {}
+
+
+def git_sha(cwd: str | Path | None = None) -> str:
+    """The current commit's SHA, or ``"unknown"`` outside a checkout."""
+    key = str(cwd or ".")
+    cached = _git_sha_cache.get(key)
+    if cached is not None:
+        return cached
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    _git_sha_cache[key] = sha or "unknown"
+    return _git_sha_cache[key]
+
+
+def current_scale() -> float:
+    """The run's ``REPRO_SCALE`` (1.0 when unset or unparsable)."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1"))
+    except ValueError:
+        return 1.0
+
+
+@dataclass(slots=True)
+class LedgerEntry:
+    """One measured metric from one benchmark run."""
+
+    metric: str
+    value: float
+    unit: str
+    direction: str = "lower"
+    scale: float = 1.0
+    sha: str = "unknown"
+    timestamp: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": LEDGER_SCHEMA_VERSION,
+            "metric": self.metric,
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+            "scale": self.scale,
+            "sha": self.sha,
+            "timestamp": self.timestamp,
+            "extra": self.extra,
+        }
+
+
+def validate_entry(payload: dict, source: str = "ledger entry") -> LedgerEntry:
+    """Check one entry against the schema; returns the parsed entry."""
+    if not isinstance(payload, dict):
+        raise ConfigError(f"{source}: not a JSON object")
+    if payload.get("schema") != LEDGER_SCHEMA_VERSION:
+        raise ConfigError(
+            f"{source}: schema {payload.get('schema')!r} "
+            f"(expected {LEDGER_SCHEMA_VERSION})"
+        )
+    metric = payload.get("metric")
+    if not isinstance(metric, str) or not _METRIC_RE.match(metric):
+        raise ConfigError(f"{source}: bad metric slug {metric!r}")
+    value = payload.get("value")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigError(f"{source}: value must be a number, got {value!r}")
+    if not isinstance(payload.get("unit"), str):
+        raise ConfigError(f"{source}: unit must be a string")
+    if payload.get("direction") not in _DIRECTIONS:
+        raise ConfigError(
+            f"{source}: direction must be one of {_DIRECTIONS}, "
+            f"got {payload.get('direction')!r}"
+        )
+    scale = payload.get("scale")
+    if not isinstance(scale, (int, float)) or isinstance(scale, bool) or scale <= 0:
+        raise ConfigError(f"{source}: scale must be a positive number")
+    if not isinstance(payload.get("sha"), str):
+        raise ConfigError(f"{source}: sha must be a string")
+    timestamp = payload.get("timestamp")
+    if not isinstance(timestamp, (int, float)) or isinstance(timestamp, bool):
+        raise ConfigError(f"{source}: timestamp must be a number")
+    extra = payload.get("extra", {})
+    if not isinstance(extra, dict):
+        raise ConfigError(f"{source}: extra must be an object")
+    return LedgerEntry(
+        metric=metric,
+        value=float(value),
+        unit=payload["unit"],
+        direction=payload["direction"],
+        scale=float(scale),
+        sha=payload["sha"],
+        timestamp=float(timestamp),
+        extra=extra,
+    )
+
+
+# ------------------------------------------------------------------ writing
+
+
+def write_entry(
+    ledger_dir: str | Path,
+    metric: str,
+    value: float,
+    unit: str,
+    direction: str = "lower",
+    scale: float | None = None,
+    sha: str | None = None,
+    timestamp: float | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Persist one metric atomically; returns the file written."""
+    ledger_dir = Path(ledger_dir)
+    entry = LedgerEntry(
+        metric=metric,
+        value=float(value),
+        unit=unit,
+        direction=direction,
+        scale=current_scale() if scale is None else scale,
+        sha=git_sha(ledger_dir if ledger_dir.is_dir() else None) if sha is None else sha,
+        timestamp=time.time() if timestamp is None else timestamp,
+        extra=extra or {},
+    )
+    validate_entry(entry.as_dict(), source=f"metric {metric!r}")
+    ledger_dir.mkdir(parents=True, exist_ok=True)
+    path = ledger_dir / f"{metric}__{time.time_ns()}.json"
+    atomic_write_json(path, entry.as_dict())
+    return path
+
+
+# ------------------------------------------------------------------ reading
+
+
+def read_ledger(ledger_dir: str | Path) -> list[LedgerEntry]:
+    """Every entry in the ledger, oldest first (broken files raise)."""
+    ledger_dir = Path(ledger_dir)
+    if not ledger_dir.is_dir():
+        raise ConfigError(f"no benchmark ledger at {ledger_dir}")
+    import json
+
+    entries: list[LedgerEntry] = []
+    for path in sorted(ledger_dir.glob("*.json")):
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"{path}: broken ledger entry ({error})") from None
+        entries.append(validate_entry(payload, source=str(path)))
+    entries.sort(key=lambda entry: (entry.timestamp, entry.metric))
+    return entries
+
+
+@dataclass(slots=True)
+class MetricDiff:
+    """Latest-vs-previous comparison for one metric."""
+
+    metric: str
+    unit: str
+    direction: str
+    previous: float
+    latest: float
+    change: float  # signed fraction, relative to previous
+    regression: bool
+
+    def describe(self) -> str:
+        arrow = "worse" if self.regression else (
+            "better" if self._improved() else "~same"
+        )
+        return (
+            f"{self.metric:<34s} {self.previous:>12.4g} -> "
+            f"{self.latest:>12.4g} {self.unit:<8s} "
+            f"{self.change:+7.1%} [{arrow}]"
+        )
+
+    def _improved(self) -> bool:
+        if self.direction == "lower":
+            return self.change < 0
+        return self.change > 0
+
+
+def diff_ledger(
+    entries: list[LedgerEntry], threshold: float = 0.20
+) -> list[MetricDiff]:
+    """Pair each metric's latest entry with the previous same-scale one.
+
+    A change beyond ``threshold`` in the metric's worse direction is a
+    regression. Metrics with fewer than two same-scale entries are
+    skipped — there is nothing to diff yet.
+    """
+    if threshold <= 0:
+        raise ConfigError("regression threshold must be positive")
+    by_metric: dict[tuple[str, float], list[LedgerEntry]] = {}
+    for entry in entries:
+        by_metric.setdefault((entry.metric, entry.scale), []).append(entry)
+    diffs: list[MetricDiff] = []
+    for (_metric, _scale), history in sorted(by_metric.items()):
+        if len(history) < 2:
+            continue
+        previous, latest = history[-2], history[-1]
+        if previous.value == 0:
+            change = 0.0 if latest.value == 0 else float("inf")
+        else:
+            change = (latest.value - previous.value) / abs(previous.value)
+        if latest.direction == "lower":
+            regression = change > threshold
+        else:
+            regression = change < -threshold
+        diffs.append(
+            MetricDiff(
+                metric=latest.metric,
+                unit=latest.unit,
+                direction=latest.direction,
+                previous=previous.value,
+                latest=latest.value,
+                change=change,
+                regression=regression,
+            )
+        )
+    return diffs
+
+
+def format_report(diffs: list[MetricDiff], threshold: float) -> str:
+    """The ``repro bench-report`` text block."""
+    if not diffs:
+        return (
+            "bench-report: no metric has two runs at the same scale yet — "
+            "run the benchmarks twice to get a diff"
+        )
+    lines = [
+        f"bench-report: {len(diffs)} metric(s), "
+        f"regression threshold {threshold:.0%}"
+    ]
+    lines.extend(f"  {diff.describe()}" for diff in diffs)
+    regressions = [diff for diff in diffs if diff.regression]
+    if regressions:
+        lines.append(
+            f"  REGRESSION: {len(regressions)} metric(s) moved more than "
+            f"{threshold:.0%} in the wrong direction"
+        )
+    else:
+        lines.append("  no regressions")
+    return "\n".join(lines)

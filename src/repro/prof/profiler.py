@@ -1,0 +1,204 @@
+"""Sampling hot-path profiler for the molecular access engine.
+
+Timing every stage of every access with ``perf_counter`` would multiply
+the cost of the hot loop several times over — useless as an instrument.
+Instead the profiler combines three measurements, each cheap where it
+runs often and exact where it runs rarely:
+
+* **wall clock** — every profiled stream (or the caller, for per-access
+  sessions) contributes its measured wall time and reference count;
+* **sampled stage splits** — every ``sample_every``-th reference runs
+  through a stage-instrumented twin of the engine access body
+  (:meth:`repro.prof.engine.ProfiledAccessEngine.access_profiled`),
+  accumulating per-stage and per-region sampled time;
+* **exact resize timing** — resize rounds are rare and expensive, so the
+  resizer times every fire directly instead of relying on sampling.
+
+The report distributes the measured wall clock (minus the exactly-timed
+resize share) across the stages proportionally to their sampled shares.
+By construction the per-stage times sum to the wall clock — the
+breakdown answers "where did this run's time go", not "how fast is each
+stage in isolation" (the instrumented samples carry their own timer
+overhead, so absolute sampled numbers are only used as ratios).
+
+The equivalence contract of :mod:`repro.molecular.engine` extends to the
+profiled paths: a profiled run's stats, resize log and telemetry stream
+are byte-identical to an unprofiled one (``tests/test_prof_profiler.py``
+asserts it). Disabled, profiling costs nothing on the per-reference
+path: ``MolecularCache.access_many``/``access_session`` check
+``cache.profiler`` once per call and hand the stream to the ordinary
+engine.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+#: Stage keys, in report order. ``account`` absorbs everything that is
+#: not one of the four architectural stages: counter updates, context
+#: refreshes, resize-trigger checks and telemetry recording.
+PROFILE_STAGES = ("probe", "remote_search", "replace", "writeback", "account")
+
+
+class HotPathProfiler:
+    """Accumulates sampled stage time, wall clock and resize time.
+
+    Parameters
+    ----------
+    sample_every:
+        One reference in every ``sample_every`` runs through the
+        instrumented access body. The default keeps the enabled
+        overhead on the molecular access benchmark under the 5 % budget
+        (``benchmarks/test_perf_prof_overhead.py`` guards it).
+    """
+
+    __slots__ = (
+        "sample_every",
+        "enabled",
+        "stage_s",
+        "asid_s",
+        "asid_samples",
+        "samples",
+        "refs",
+        "wall_s",
+        "resize_s",
+        "resize_fires",
+        "streams",
+    )
+
+    def __init__(self, sample_every: int = 512) -> None:
+        if sample_every < 1:
+            raise ConfigError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.enabled = True
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every accumulator (a fresh measurement window)."""
+        self.stage_s = {stage: 0.0 for stage in PROFILE_STAGES}
+        self.asid_s: dict[int, float] = {}
+        self.asid_samples: dict[int, int] = {}
+        self.samples = 0
+        self.refs = 0
+        self.wall_s = 0.0
+        self.resize_s = 0.0
+        self.resize_fires = 0
+        self.streams = 0
+
+    # ------------------------------------------------------------- feeding
+
+    def add_sample(
+        self,
+        asid: int,
+        probe: float,
+        remote_search: float,
+        replace: float,
+        writeback: float,
+        account: float,
+    ) -> None:
+        """One instrumented access's stage durations (seconds)."""
+        stage_s = self.stage_s
+        stage_s["probe"] += probe
+        stage_s["remote_search"] += remote_search
+        stage_s["replace"] += replace
+        stage_s["writeback"] += writeback
+        stage_s["account"] += account
+        total = probe + remote_search + replace + writeback + account
+        self.asid_s[asid] = self.asid_s.get(asid, 0.0) + total
+        self.asid_samples[asid] = self.asid_samples.get(asid, 0) + 1
+        self.samples += 1
+
+    def add_stream(self, refs: int, wall_s: float) -> None:
+        """One profiled stream's reference count and measured wall time."""
+        self.refs += refs
+        self.wall_s += wall_s
+        self.streams += 1
+
+    def add_resize(self, seconds: float) -> None:
+        """One resize round, timed exactly at the resizer."""
+        self.resize_s += seconds
+        self.resize_fires += 1
+
+    # ----------------------------------------------------------- reporting
+
+    def report(self, wall_s: float | None = None) -> dict:
+        """The attributed breakdown as a plain dict.
+
+        ``wall_s`` overrides the accumulated stream wall clock — drivers
+        that issue references one at a time (sessions) measure the run
+        wall themselves and pass it here.
+        """
+        wall = self.wall_s if wall_s is None else wall_s
+        resize = min(self.resize_s, wall) if wall > 0 else self.resize_s
+        distributable = max(wall - resize, 0.0)
+        sampled_total = sum(self.stage_s.values())
+        stages: dict[str, dict[str, float]] = {}
+        for stage in PROFILE_STAGES:
+            share = (
+                self.stage_s[stage] / sampled_total if sampled_total > 0 else 0.0
+            )
+            stages[stage] = {
+                "share": share,
+                "time_s": distributable * share,
+            }
+        regions: dict[int, dict[str, float]] = {}
+        for asid in sorted(self.asid_s):
+            regions[asid] = {
+                "share": (
+                    self.asid_s[asid] / sampled_total
+                    if sampled_total > 0
+                    else 0.0
+                ),
+                "samples": self.asid_samples[asid],
+            }
+        return {
+            "wall_s": wall,
+            "refs": self.refs,
+            "refs_per_sec": self.refs / wall if wall > 0 else 0.0,
+            "samples": self.samples,
+            "sample_every": self.sample_every,
+            "stages": stages,
+            "resize": {"time_s": resize, "fires": self.resize_fires},
+            "regions": regions,
+        }
+
+    def format_report(self, wall_s: float | None = None) -> str:
+        """The breakdown as the text block ``repro simulate --profile`` prints."""
+        data = self.report(wall_s)
+        lines = [
+            "hot-path profile "
+            f"({data['refs']} refs in {data['wall_s'] * 1e3:.1f} ms, "
+            f"{data['refs_per_sec']:,.0f} refs/s; "
+            f"{data['samples']} sampled, 1/{data['sample_every']})"
+        ]
+        rows: list[tuple[str, float, float]] = [
+            (stage.replace("_", "-"), info["time_s"], info["share"])
+            for stage, info in data["stages"].items()
+        ]
+        wall = data["wall_s"]
+        resize = data["resize"]
+        rows.append(
+            (
+                f"resize ({resize['fires']} fires)",
+                resize["time_s"],
+                resize["time_s"] / wall if wall > 0 else 0.0,
+            )
+        )
+        # Stage shares are of the non-resize wall; print wall fractions so
+        # the column sums to 100 %.
+        non_resize = max(wall - resize["time_s"], 0.0)
+        for name, time_s, share in rows:
+            frac = time_s / wall if wall > 0 else 0.0
+            if not name.startswith("resize"):
+                frac = (share * non_resize / wall) if wall > 0 else 0.0
+            lines.append(f"  {name:<22s} {time_s * 1e3:9.2f} ms  {frac:6.1%}")
+        total = sum(time_s for _n, time_s, _s in rows)
+        lines.append(f"  {'total':<22s} {total * 1e3:9.2f} ms  {total / wall if wall > 0 else 0.0:6.1%}")
+        if data["regions"]:
+            lines.append("  per-region sampled share:")
+            for asid, info in data["regions"].items():
+                lines.append(
+                    f"    asid {asid:<4d} {info['share']:6.1%} "
+                    f"({info['samples']} samples)"
+                )
+        return "\n".join(lines)

@@ -200,3 +200,70 @@ class TestAuditCommands:
         assert code == 0
         assert os.environ.get("REPRO_AUDIT") == "500"
         capsys.readouterr()
+
+
+class TestObservabilityCommands:
+    def test_simulate_profile(self, capsys):
+        code = main(
+            ["simulate", "--size", "1MB", "--refs", "20000",
+             "--workloads", "ammp,parser", "--profile", "64"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hot-path profile" in out
+        assert "remote-search" in out
+        assert "per-region sampled share:" in out
+
+    def test_simulate_profile_flag_parsing(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["simulate"]).profile is None
+        assert parser.parse_args(["simulate", "--profile"]).profile == 512
+        assert parser.parse_args(
+            ["simulate", "--profile", "64"]
+        ).profile == 64
+
+    def test_simulate_profile_needs_molecular(self, capsys):
+        code = main(
+            ["simulate", "--cache", "setassoc", "--size", "1MB",
+             "--refs", "5000", "--workloads", "ammp", "--profile"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "hot-path profile" not in captured.out
+        assert "not profiling" in captured.err
+
+    def test_sweep_spans_and_trace_export(self, capsys, monkeypatch,
+                                          tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        trace = tmp_path / "spans.json"
+        code = main(
+            ["sweep", "table1", "--jobs", "1", "--refs", "1000",
+             "--out", str(tmp_path / "campaign"), "--spans", str(trace)]
+        )
+        assert code == 0
+        assert "campaign spans:" in capsys.readouterr().err
+        assert trace.exists()
+
+        assert main(["trace-export", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span trace:" in out
+        assert "job" in out
+
+        filtered = tmp_path / "jobs-only.json"
+        assert main(
+            ["trace-export", str(trace), "--category", "job",
+             "--out", str(filtered)]
+        ) == 0
+        capsys.readouterr()
+        import json
+
+        events = json.loads(filtered.read_text())["traceEvents"]
+        assert all(
+            e.get("cat") == "job" for e in events if e.get("ph") == "X"
+        )
+
+    def test_trace_export_missing_file(self, capsys, tmp_path):
+        assert main(["trace-export", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,227 @@
+"""Benchmark ledger: schema validation, diffing and the regression gate.
+
+The self-test the issue asks for lives here: two runs of the same
+metric where the second is >= 20 % slower must be flagged as a
+regression by ``diff_ledger`` and fail ``repro bench-report`` (exit 1),
+while ``--soft`` demotes it to a report-only pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import ConfigError
+from repro.prof.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerEntry,
+    diff_ledger,
+    format_report,
+    read_ledger,
+    validate_entry,
+    write_entry,
+)
+
+
+def entry(metric="sim_time", value=1.0, **kwargs) -> LedgerEntry:
+    defaults = dict(
+        unit="s", direction="lower", scale=1.0, sha="abc", timestamp=0.0
+    )
+    defaults.update(kwargs)
+    return LedgerEntry(metric=metric, value=value, **defaults)
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        path = write_entry(
+            tmp_path, "sim_time", 1.25, "s", extra={"refs": 1000}
+        )
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == LEDGER_SCHEMA_VERSION
+        assert payload["metric"] == "sim_time"
+        assert payload["value"] == 1.25
+        assert payload["extra"] == {"refs": 1000}
+        assert payload["sha"]  # git sha or "unknown", never empty
+        assert payload["timestamp"] > 0
+        entries = read_ledger(tmp_path)
+        assert len(entries) == 1
+        assert entries[0].value == 1.25
+
+    def test_scale_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        path = write_entry(tmp_path, "sim_time", 1.0, "s")
+        assert json.loads(path.read_text())["scale"] == 0.25
+
+    def test_entries_sorted_by_timestamp(self, tmp_path):
+        write_entry(tmp_path, "m", 2.0, "s", timestamp=200.0)
+        write_entry(tmp_path, "m", 1.0, "s", timestamp=100.0)
+        values = [e.value for e in read_ledger(tmp_path)]
+        assert values == [1.0, 2.0]
+
+    def test_missing_ledger_dir(self, tmp_path):
+        with pytest.raises(ConfigError):
+            read_ledger(tmp_path / "nope")
+
+    def test_corrupt_entry_raises(self, tmp_path):
+        write_entry(tmp_path, "m", 1.0, "s")
+        (tmp_path / "broken__1.json").write_text("{not json")
+        with pytest.raises(ConfigError):
+            read_ledger(tmp_path)
+
+    def test_bad_metric_slug_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            write_entry(tmp_path, "Bad Metric!", 1.0, "s")
+
+    def test_bad_direction_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            write_entry(tmp_path, "m", 1.0, "s", direction="sideways")
+
+
+class TestValidate:
+    def test_rejects_wrong_schema(self):
+        payload = entry().as_dict()
+        payload["schema"] = 99
+        with pytest.raises(ConfigError):
+            validate_entry(payload)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("value", "fast"),
+            ("value", True),
+            ("unit", 7),
+            ("scale", -1.0),
+            ("sha", None),
+            ("timestamp", "now"),
+            ("extra", []),
+        ],
+    )
+    def test_rejects_bad_fields(self, field, value):
+        payload = entry().as_dict()
+        payload[field] = value
+        with pytest.raises(ConfigError):
+            validate_entry(payload)
+
+
+class TestDiff:
+    def test_injected_slowdown_flagged(self):
+        diffs = diff_ledger(
+            [entry(value=1.0, timestamp=1.0), entry(value=1.25, timestamp=2.0)]
+        )
+        assert len(diffs) == 1
+        assert diffs[0].regression
+        assert diffs[0].change == pytest.approx(0.25)
+        assert "worse" in diffs[0].describe()
+
+    def test_improvement_not_flagged(self):
+        diffs = diff_ledger(
+            [entry(value=1.0, timestamp=1.0), entry(value=0.5, timestamp=2.0)]
+        )
+        assert not diffs[0].regression
+        assert "better" in diffs[0].describe()
+
+    def test_higher_is_better_direction(self):
+        slower = diff_ledger(
+            [
+                entry("thru", 1000.0, direction="higher", timestamp=1.0),
+                entry("thru", 700.0, direction="higher", timestamp=2.0),
+            ]
+        )
+        assert slower[0].regression
+        faster = diff_ledger(
+            [
+                entry("thru", 1000.0, direction="higher", timestamp=1.0),
+                entry("thru", 1400.0, direction="higher", timestamp=2.0),
+            ]
+        )
+        assert not faster[0].regression
+
+    def test_within_threshold_is_quiet(self):
+        diffs = diff_ledger(
+            [entry(value=1.0, timestamp=1.0), entry(value=1.1, timestamp=2.0)]
+        )
+        assert not diffs[0].regression
+
+    def test_different_scales_never_diffed(self):
+        diffs = diff_ledger(
+            [
+                entry(value=1.0, scale=1.0, timestamp=1.0),
+                entry(value=9.0, scale=0.1, timestamp=2.0),
+            ]
+        )
+        assert diffs == []
+
+    def test_latest_two_of_longer_history(self):
+        diffs = diff_ledger(
+            [
+                entry(value=5.0, timestamp=1.0),
+                entry(value=1.0, timestamp=2.0),
+                entry(value=1.05, timestamp=3.0),
+            ]
+        )
+        assert diffs[0].previous == 1.0
+        assert diffs[0].latest == 1.05
+        assert not diffs[0].regression
+
+    def test_zero_previous(self):
+        diffs = diff_ledger(
+            [entry(value=0.0, timestamp=1.0), entry(value=1.0, timestamp=2.0)]
+        )
+        assert diffs[0].regression
+
+    def test_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            diff_ledger([], threshold=0.0)
+
+    def test_format_report_states_verdict(self):
+        text = format_report(
+            diff_ledger(
+                [entry(value=1.0, timestamp=1.0), entry(value=2.0, timestamp=2.0)]
+            ),
+            0.20,
+        )
+        assert "REGRESSION" in text
+        assert format_report([], 0.20).startswith("bench-report: no metric")
+
+
+class TestBenchReportCli:
+    def write_pair(self, tmp_path, latest: float) -> str:
+        ledger = tmp_path / "ledger"
+        write_entry(ledger, "sim_time", 1.0, "s", timestamp=100.0)
+        write_entry(ledger, "sim_time", latest, "s", timestamp=200.0)
+        return str(ledger)
+
+    def test_regression_fails(self, tmp_path, capsys):
+        ledger = self.write_pair(tmp_path, 1.3)
+        assert main(["bench-report", "--ledger", ledger]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_soft_mode_reports_but_passes(self, tmp_path, capsys):
+        ledger = self.write_pair(tmp_path, 1.3)
+        assert main(["bench-report", "--ledger", ledger, "--soft"]) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_clean_ledger_passes(self, tmp_path, capsys):
+        ledger = self.write_pair(tmp_path, 1.05)
+        assert (
+            main(["bench-report", "--ledger", ledger, "--validate"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "ledger OK" in out
+        assert "no regressions" in out
+
+    def test_custom_threshold(self, tmp_path):
+        ledger = self.write_pair(tmp_path, 1.1)
+        assert main(["bench-report", "--ledger", ledger]) == 0
+        assert (
+            main(["bench-report", "--ledger", ledger, "--threshold", "0.05"])
+            == 1
+        )
+
+    def test_missing_ledger_is_a_config_error(self, tmp_path, capsys):
+        assert (
+            main(["bench-report", "--ledger", str(tmp_path / "nope")]) == 2
+        )
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,136 @@
+"""Zero-overhead contract: profiling off costs nothing per reference.
+
+Mirrors the audit subsystem's structural guard: instead of racing the
+clock, count the ``cache.profiler`` attribute lookups the access paths
+make. The contract is one lookup per ``access_many``/``access_session``
+*call* — never one per reference — so the lookup count must not grow
+with the trace length. With no profiler attached (or a disabled one),
+the dispatched engine must be the ordinary ``AccessEngine``, not the
+instrumented twin.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import XorShift64
+from repro.molecular.cache import MolecularCache
+from repro.molecular.config import MolecularCacheConfig, ResizePolicy
+from repro.molecular.engine import AccessEngine
+from repro.prof import HotPathProfiler
+from repro.prof.engine import ProfiledAccessEngine
+
+
+class CountingCache(MolecularCache):
+    """A MolecularCache that counts reads of its ``profiler`` attribute."""
+
+    def __init__(self, *args, **kwargs):
+        self.profiler_lookups = 0
+        self._profiler = None
+        super().__init__(*args, **kwargs)
+
+    @property
+    def profiler(self):
+        self.profiler_lookups += 1
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, value):
+        self._profiler = value
+
+
+def build_cache() -> CountingCache:
+    config = MolecularCacheConfig(
+        molecule_bytes=1024,
+        molecules_per_tile=8,
+        tiles_per_cluster=2,
+        clusters=1,
+        strict=False,
+    )
+    cache = CountingCache(
+        config,
+        resize_policy=ResizePolicy(period=200, min_window_refs=16),
+        rng=XorShift64(3),
+    )
+    cache.assign_application(0, goal=0.3, initial_molecules=3, tile_id=0)
+    return cache
+
+
+def make_blocks(n: int) -> list[int]:
+    rng = XorShift64(9)
+    return [rng.randrange(400) for _ in range(n)]
+
+
+def count_resize_fires(monkeypatch) -> list[int]:
+    """Patch the resizer so every round appends to the returned list."""
+    from repro.molecular import resize as resize_mod
+
+    fires: list[int] = []
+    real_all = resize_mod.Resizer._resize_all
+    real_one = resize_mod.Resizer._resize_one
+
+    def counting_all(self, total_accesses):
+        fires.append(1)
+        return real_all(self, total_accesses)
+
+    def counting_one(self, region, total_accesses):
+        fires.append(1)
+        return real_one(self, region, total_accesses)
+
+    monkeypatch.setattr(resize_mod.Resizer, "_resize_all", counting_all)
+    monkeypatch.setattr(resize_mod.Resizer, "_resize_one", counting_one)
+    return fires
+
+
+def run_counted(n: int, session: bool, monkeypatch) -> tuple[int, int]:
+    """(profiler lookups, resize fires) for an n-reference run."""
+    cache = build_cache()
+    fires = count_resize_fires(monkeypatch)
+    before = cache.profiler_lookups
+    if session:
+        access = cache.access_session().access
+        for block in make_blocks(n):
+            access(block, 0)
+    else:
+        cache.access_many(make_blocks(n), 0)
+    return cache.profiler_lookups - before, len(fires)
+
+
+def test_stream_lookups_independent_of_trace_length(monkeypatch):
+    # One lookup per access_many call for dispatch plus one per resize
+    # fire (epochs, not references) — never one per reference.
+    for n in (100, 5_000):
+        lookups, fires = run_counted(n, session=False, monkeypatch=monkeypatch)
+        assert lookups <= 1 + fires, (
+            f"{lookups} profiler lookups for {n} refs with {fires} resize "
+            "fires — the disabled check leaked into the per-reference path"
+        )
+
+
+def test_session_lookups_independent_of_access_count(monkeypatch):
+    for n in (100, 5_000):
+        lookups, fires = run_counted(n, session=True, monkeypatch=monkeypatch)
+        assert lookups <= 1 + fires
+
+
+def test_scalar_path_never_checks_the_profiler(monkeypatch):
+    cache = build_cache()
+    fires = count_resize_fires(monkeypatch)
+    before = cache.profiler_lookups
+    for block in make_blocks(500):
+        cache.access_block(block, 0)
+    # access_block predates the profiler and must stay untouched; only
+    # the resizer may peek (once per fire, not per reference).
+    assert cache.profiler_lookups - before <= len(fires)
+
+
+def test_disabled_profiler_dispatches_plain_engine():
+    cache = build_cache()
+    session = cache.access_session()
+    assert type(session) is AccessEngine
+
+    profiler = HotPathProfiler()
+    profiler.enabled = False
+    cache.attach_profiler(profiler)
+    assert type(cache.access_session()) is AccessEngine
+
+    profiler.enabled = True
+    assert type(cache.access_session()) is ProfiledAccessEngine
