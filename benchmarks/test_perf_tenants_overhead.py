@@ -1,0 +1,133 @@
+"""Guard: tenant accounting must be free when disabled, cheap when on.
+
+The cache service's hot path carries exactly one piece of accounting
+instrumentation: the ``self.accounting is None`` check in
+``CacheService.access`` (per-tenant hit/access counters are part of the
+base service, not the accounting layer). Two assertions keep that
+contract:
+
+* the measured cost of the guard is <= 5 % of one measured access —
+  a service built with ``accounting=None`` is indistinguishable from an
+  unguarded one;
+* enabled accounting (SHARDS-sampled hit-rate curves + SLA ledgers)
+  stays within a generous envelope of the disabled path, so turning the
+  signal on never dominates a run.
+
+Timings use min-of-repeats; thresholds are loose for CI jitter.
+"""
+
+from __future__ import annotations
+
+import timeit
+
+from conftest import emit, run_once
+from repro.common.rng import XorShift64
+from repro.tenants import CacheService, TenantAccounting, make_policy
+
+N_REFS = 20_000
+N_TENANTS = 16
+REPEATS = 5
+
+#: The disabled-path budget: guard cost <= 5 % of an access.
+DISABLED_OVERHEAD_BUDGET = 0.05
+#: Envelope for enabled accounting (sampled stack + ledger updates).
+ENABLED_OVERHEAD_BUDGET = 1.50
+
+
+def build_service(accounting: TenantAccounting | None) -> CacheService:
+    return CacheService(
+        capacity_blocks=N_TENANTS * 64,
+        policy=make_policy("static"),
+        accounting=accounting,
+        # One epoch for the whole loop: the timing isolates the access
+        # path, not the rebalance machinery.
+        epoch_refs=N_REFS * REPEATS + 1,
+    )
+
+
+def make_refs() -> list[tuple[int, int]]:
+    rng = XorShift64(23)
+    return [
+        (rng.randrange(N_TENANTS), rng.randrange(256))
+        for _ in range(N_REFS)
+    ]
+
+
+def time_access_loop(service, refs) -> float:
+    """Seconds per access, min over REPEATS runs of the full loop."""
+    access = service.access
+
+    def run():
+        for tenant, key in refs:
+            access(tenant, key)
+
+    return min(timeit.repeat(run, number=1, repeat=REPEATS)) / len(refs)
+
+
+def test_disabled_accounting_guard_within_noise(benchmark):
+    """``self.accounting is None`` is the only disabled-path cost."""
+    refs = make_refs()
+    service = build_service(accounting=None)
+    per_access = run_once(benchmark, lambda: time_access_loop(service, refs))
+
+    probe = service
+    guard_timer = timeit.Timer("probe.accounting is None", globals=locals())
+    baseline_timer = timeit.Timer("pass")
+    loops = 200_000
+    guard = min(guard_timer.repeat(repeat=REPEATS, number=loops)) / loops
+    empty = min(baseline_timer.repeat(repeat=REPEATS, number=loops)) / loops
+    guard_cost = max(guard - empty, 0.0)
+
+    ratio = guard_cost / per_access
+    emit(
+        "perf_tenants_overhead_disabled",
+        "Tenant accounting disabled-path guard "
+        f"({N_REFS} refs, {N_TENANTS} tenants)\n"
+        f"  access          : {per_access * 1e9:.0f} ns\n"
+        f"  guard           : {guard_cost * 1e9:.1f} ns\n"
+        f"  ratio           : {ratio:.4f} "
+        f"(budget {DISABLED_OVERHEAD_BUDGET:.2f})",
+        metrics=[
+            {
+                "metric": "tenants_disabled_guard_ratio",
+                "value": ratio,
+                "unit": "x",
+                "direction": "lower",
+            }
+        ],
+    )
+    assert ratio <= DISABLED_OVERHEAD_BUDGET
+
+
+def test_enabled_accounting_within_envelope(benchmark):
+    """HRC sampling + SLA ledgers cost at most ENABLED_OVERHEAD_BUDGET
+    extra per access over the disabled path."""
+    refs = make_refs()
+
+    def measure() -> tuple[float, float]:
+        disabled = time_access_loop(build_service(accounting=None), refs)
+        enabled = time_access_loop(
+            build_service(TenantAccounting(sla_miss_rate=0.4)), refs
+        )
+        return disabled, enabled
+
+    disabled, enabled = run_once(benchmark, measure)
+    overhead = enabled / disabled - 1.0
+    emit(
+        "perf_tenants_overhead_enabled",
+        "Tenant accounting enabled-path overhead "
+        f"({N_REFS} refs, {N_TENANTS} tenants)\n"
+        f"  disabled        : {disabled * 1e9:.0f} ns/access\n"
+        f"  enabled         : {enabled * 1e9:.0f} ns/access\n"
+        f"  overhead        : {overhead:+.1%} "
+        f"(budget {ENABLED_OVERHEAD_BUDGET:.0%})",
+        metrics=[
+            {
+                "metric": "tenants_enabled_overhead",
+                "value": overhead,
+                "unit": "x",
+                "direction": "lower",
+            }
+        ],
+    )
+    assert overhead <= ENABLED_OVERHEAD_BUDGET

@@ -275,6 +275,53 @@ def _assemble_degradation(
     return assemble_rows(results)
 
 
+# ----------------------------------------------------------------- tenancy
+
+def _decompose_tenancy(
+    name: str, refs: int, seed: int, options: dict[str, Any]
+) -> list[JobSpec]:
+    from repro.sim.experiments.tenancy import resolve_grid
+
+    resolved = scaled(refs)
+    return [
+        JobSpec.make(
+            name,
+            "cell",
+            {
+                "tenants": tenants,
+                "churn": churn,
+                "skew": skew,
+                "policy": policy,
+                "refs": resolved,
+            },
+            seed=seed,
+        )
+        for tenants, churn, skew, policy in resolve_grid(options)
+    ]
+
+
+def _execute_tenancy(spec: JobSpec) -> Any:
+    from repro.sim.experiments.tenancy import run_tenancy_cell
+
+    params = spec.params_dict
+    return run_tenancy_cell(
+        params["tenants"],
+        params["churn"],
+        params["skew"],
+        params["policy"],
+        params["refs"],
+        seed=spec.seed,
+    )
+
+
+def _assemble_tenancy(
+    specs: list[JobSpec], results: list[Any], options: dict[str, Any]
+):
+    from repro.sim.experiments.tenancy import assemble_cells
+
+    return assemble_cells(results)
+
+
 # ---------------------------------------------------------------- registry
 
 def _serial(module: str, func: str) -> Callable[..., Any]:
@@ -347,6 +394,17 @@ _register(ExperimentTarget(
     default_refs=300_000,
     description="hits-per-molecule, Random vs Randy placement",
     serial=_serial("repro.sim.experiments.figure6", "run_figure6"),
+))
+_register(ExperimentTarget(
+    name="tenancy",
+    default_refs=60_000,
+    description="multi-tenant cache service: allocation policy vs "
+                "tenant count, churn and skew",
+    serial=_serial("repro.sim.experiments.tenancy", "run_tenancy"),
+    options=("tenants", "churn", "skew", "policies"),
+    decompose=_decompose_tenancy,
+    execute=_execute_tenancy,
+    assemble=_assemble_tenancy,
 ))
 
 

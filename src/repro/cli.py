@@ -4,6 +4,15 @@ Commands
 --------
 ``models``
     List the bundled workload models with their footprints.
+``workloads``
+    List the registered workload families (SPEC stand-ins, mixed suite,
+    multi-tenant mixes) and their members.
+``tenants``
+    Multi-tenant cache-service sweep: allocation policies (static /
+    need-driven / Algorithm 1) vs tenant count, churn and skew, with
+    per-tenant hit-rate accounting, Jain fairness and SLA tracking.
+    ``--jobs`` runs it as a campaign; ``--record`` captures one cell's
+    telemetry for ``repro inspect``.
 ``profile MODEL``
     Characterise a model's trace (footprint, locality, LRU miss curve).
 ``experiment {table1,table2,table4,table5,figure5,figure6}``
@@ -511,16 +520,111 @@ def cmd_trace_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis(text: str | None, cast):
+    """``"10,100,1000"`` -> ``[10, 100, 1000]`` (None passes through)."""
+    if text is None:
+        return None
+    values = [cast(part.strip()) for part in text.split(",") if part.strip()]
+    if not values:
+        raise ConfigError(f"empty axis value {text!r}")
+    return values
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    """List the registered workload families and their members."""
+    from repro.workloads.registry import available_families
+
+    for family in available_families():
+        print(f"{family.name} ({family.kind}): {family.description}")
+        for member in family.members:
+            print(f"  {member}")
+    return 0
+
+
+def cmd_tenants(args: argparse.Namespace) -> int:
+    """Run the tenancy sweep (serial, campaign, or one recorded cell)."""
+    from pathlib import Path
+
+    from repro.campaign.registry import get_experiment
+
+    target = get_experiment("tenancy")
+    options = {
+        name: value
+        for name, value in (
+            ("tenants", _parse_axis(args.tenants, int)),
+            ("churn", _parse_axis(args.churn, float)),
+            ("skew", _parse_axis(args.skew, float)),
+            ("policies", _parse_axis(args.policies, str)),
+        )
+        if value is not None
+    }
+
+    if args.record:
+        # One showcase cell with full telemetry instead of the sweep:
+        # the most hostile grid point, under one explicit policy.
+        from repro.sim.experiments.tenancy import record_tenancy_cell, resolve_grid
+        from repro.sim.scale import scaled
+
+        grid = resolve_grid(options)
+        tenants, churn, skew, _ = max(
+            grid, key=lambda cell: (cell[0], cell[1], cell[2])
+        )
+        policy = (options.get("policies") or ["need"])[0]
+        refs = scaled(target.resolve_refs(args.refs))
+        payload, events = record_tenancy_cell(
+            tenants, churn, skew, policy, refs, seed=args.seed,
+            path=args.record,
+        )
+        print(
+            f"recorded tenancy cell: {tenants} tenants, churn {churn:g}, "
+            f"skew {skew:g}, policy {policy} -> aggregate hit rate "
+            f"{payload['aggregate_hit_rate']:.4f}, jain {payload['jain']:.3f}, "
+            f"{payload['sla_violation_epochs']} SLA epoch(s)"
+        )
+        print(
+            f"telemetry: {events} events -> {args.record} "
+            "(replay with `python -m repro inspect`)",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.jobs is None:
+        result = target.run_serial(refs=args.refs, seed=args.seed, **options)
+        print(result.format())
+        return 0
+
+    from repro.campaign import CampaignConfig, CampaignRunner, ResultStore
+
+    specs = target.jobs(refs=args.refs, seed=args.seed, **options)
+    out = Path(args.out) if args.out else Path("campaigns") / "tenancy"
+    store = ResultStore(out)
+    config = CampaignConfig(jobs=args.jobs, resume=args.resume)
+    runner = CampaignRunner(store, config)
+    outcome = runner.run(specs, campaign="tenancy", options=options)
+    result = target.assemble_results(
+        specs, outcome.results_in_order(), **options
+    )
+    print(result.format())
+    print(f"{outcome.summary()} -> {store.root}", file=sys.stderr)
+    return 0
+
+
 def cmd_bench_report(args: argparse.Namespace) -> int:
     """Diff the benchmark ledger; non-zero exit on a regression (unless --soft)."""
-    from repro.prof.ledger import diff_ledger, format_report, read_ledger
+    from repro.prof.ledger import (
+        diff_ledger,
+        format_report,
+        read_ledger,
+        singleton_metrics,
+    )
 
     entries = read_ledger(args.ledger)
     if args.validate:
         # read_ledger already validated every entry against the schema.
         print(f"ledger OK: {len(entries)} valid entr(y/ies) in {args.ledger}")
     diffs = diff_ledger(entries, threshold=args.threshold)
-    print(format_report(diffs, args.threshold))
+    print(format_report(diffs, args.threshold,
+                        singletons=singleton_metrics(entries)))
     regressions = [diff for diff in diffs if diff.regression]
     if regressions and args.soft:
         print(
@@ -713,6 +817,42 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write the (filtered) trace to a new "
                                    "Chrome-tracing JSON file")
 
+    sub.add_parser(
+        "workloads",
+        help="list registered workload families and their members",
+    )
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="multi-tenant cache-service sweep (policies vs churn/skew)",
+    )
+    tenants.add_argument("--tenants", default=None,
+                         help="comma list of tenant counts (default 10,100)")
+    tenants.add_argument("--churn", default=None,
+                         help="comma list of churn rates (default 0,0.3)")
+    tenants.add_argument("--skew", default=None,
+                         help="comma list of tenant-popularity skews "
+                              "(default 0.5,1)")
+    tenants.add_argument("--policies", default=None,
+                         help="comma list of allocation policies "
+                              "(default static,need,alg1)")
+    tenants.add_argument("--refs", type=int, default=None,
+                         help="references per cell")
+    tenants.add_argument("--seed", type=int, default=1)
+    tenants.add_argument("--jobs", type=int, default=None,
+                         help="run as a campaign with this many workers "
+                              "(0 = one per CPU; omit for serial in-process)")
+    tenants.add_argument("--resume", action="store_true",
+                         help="skip jobs already completed in the result "
+                              "store (campaign mode)")
+    tenants.add_argument("--out", default=None,
+                         help="campaign result store directory "
+                              "(default: campaigns/tenancy)")
+    tenants.add_argument("--record", metavar="PATH", default=None,
+                         help="instead of the sweep, run the most hostile "
+                              "grid cell with telemetry recorded to PATH "
+                              "(replay with `repro inspect`)")
+
     bench_report = sub.add_parser(
         "bench-report",
         help="diff the benchmark ledger and flag perf regressions",
@@ -746,6 +886,8 @@ _COMMANDS = {
     "power": cmd_power,
     "trace-export": cmd_trace_export,
     "bench-report": cmd_bench_report,
+    "workloads": cmd_workloads,
+    "tenants": cmd_tenants,
 }
 
 

@@ -47,6 +47,49 @@ from repro.telemetry.events import (
 RESIZE_COMPUTE_CYCLES = 1_500
 
 
+def algorithm1_step(
+    miss_rate: float,
+    goal: float,
+    current: int,
+    last_miss_rate: float,
+    max_allocation: int,
+    last_allocation: int,
+    min_units: int = 1,
+    panic_miss_rate: float = 0.5,
+    withdraw_margin: float = 1.0,
+    grow_when_worsening: bool = False,
+) -> tuple[str, int, int]:
+    """One Algorithm-1 decision as a pure function of the window's numbers.
+
+    Returns ``(action, amount, new_max_allocation)`` where ``action`` is
+    ``"grow"``, ``"withdraw"`` or ``"hold"`` and ``new_max_allocation``
+    carries the panic branch's clamp back to the caller's state. Units
+    are whatever the caller partitions in — molecules for the
+    :class:`Resizer`, block quanta for the tenant-granularity policy in
+    :mod:`repro.tenants.policies` — which is exactly why the arithmetic
+    lives outside the engine.
+    """
+    if miss_rate > panic_miss_rate:
+        if 0 < last_allocation < max_allocation:
+            max_allocation = last_allocation
+        return ("grow", max_allocation, max_allocation)
+    if miss_rate < goal:
+        if goal > 0 and miss_rate < goal * withdraw_margin:
+            amount = int(round(math.sqrt(current * miss_rate / goal)))
+        else:
+            amount = 0
+        amount = min(amount, current - min_units)
+        if amount > 0:
+            return ("withdraw", amount, max_allocation)
+        return ("hold", 0, max_allocation)
+    if miss_rate < last_miss_rate or grow_when_worsening:
+        target = math.ceil(current * miss_rate / goal) if goal > 0 else current
+        amount = min(target - current, max_allocation)
+        if amount > 0:
+            return ("grow", amount, max_allocation)
+    return ("hold", 0, max_allocation)
+
+
 class Resizer:
     """Drives Algorithm 1 for every managed region of a molecular cache."""
 
@@ -216,23 +259,23 @@ class Resizer:
                 return
             # not enough samples yet: fall through to the linear model
 
-        if miss_rate > self.policy.panic_miss_rate:
-            if 0 < region.last_allocation < region.max_allocation:
-                region.max_allocation = region.last_allocation
-            self._grow(region, region.max_allocation, total_accesses)
-        elif miss_rate < goal:
-            if goal > 0 and miss_rate < goal * self.policy.withdraw_margin:
-                amount = int(round(math.sqrt(current * miss_rate / goal)))
-            else:
-                amount = 0
-            amount = min(amount, current - self.policy.min_molecules)
-            if amount > 0:
-                self._withdraw(region, amount, total_accesses)
-        elif miss_rate < region.last_miss_rate or self.policy.grow_when_worsening:
-            target = math.ceil(current * miss_rate / goal) if goal > 0 else current
-            amount = min(target - current, region.max_allocation)
-            if amount > 0:
-                self._grow(region, amount, total_accesses)
+        action, amount, new_max = algorithm1_step(
+            miss_rate,
+            goal,
+            current,
+            region.last_miss_rate,
+            region.max_allocation,
+            region.last_allocation,
+            min_units=self.policy.min_molecules,
+            panic_miss_rate=self.policy.panic_miss_rate,
+            withdraw_margin=self.policy.withdraw_margin,
+            grow_when_worsening=self.policy.grow_when_worsening,
+        )
+        region.max_allocation = new_max
+        if action == "grow":
+            self._grow(region, amount, total_accesses)
+        elif action == "withdraw":
+            self._withdraw(region, amount, total_accesses)
         region.last_miss_rate = miss_rate
         self._emit_decision(region, total_accesses, miss_rate, log_mark)
 

@@ -273,9 +273,37 @@ def diff_ledger(
     return diffs
 
 
-def format_report(diffs: list[MetricDiff], threshold: float) -> str:
+def singleton_metrics(entries: list[LedgerEntry]) -> list[tuple[str, float]]:
+    """``(metric, scale)`` pairs with exactly one ledger entry.
+
+    These are first runs at their scale: :func:`diff_ledger` skips them
+    (nothing to diff), so the report surfaces them explicitly instead of
+    letting a freshly-added benchmark look like it never ran.
+    """
+    by_metric: dict[tuple[str, float], int] = {}
+    for entry in entries:
+        key = (entry.metric, entry.scale)
+        by_metric[key] = by_metric.get(key, 0) + 1
+    return sorted(key for key, count in by_metric.items() if count == 1)
+
+
+def format_report(
+    diffs: list[MetricDiff],
+    threshold: float,
+    singletons: list[tuple[str, float]] = (),
+) -> str:
     """The ``repro bench-report`` text block."""
     if not diffs:
+        if singletons:
+            lines = [
+                "bench-report: no metric has two runs at the same scale "
+                "yet — nothing to diff"
+            ]
+            lines.extend(
+                f"  first run, skipped: {metric} (scale {scale:g})"
+                for metric, scale in singletons
+            )
+            return "\n".join(lines)
         return (
             "bench-report: no metric has two runs at the same scale yet — "
             "run the benchmarks twice to get a diff"
@@ -285,6 +313,10 @@ def format_report(diffs: list[MetricDiff], threshold: float) -> str:
         f"regression threshold {threshold:.0%}"
     ]
     lines.extend(f"  {diff.describe()}" for diff in diffs)
+    lines.extend(
+        f"  first run, skipped: {metric} (scale {scale:g})"
+        for metric, scale in singletons
+    )
     regressions = [diff for diff in diffs if diff.regression]
     if regressions:
         lines.append(

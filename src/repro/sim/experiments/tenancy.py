@@ -1,0 +1,259 @@
+"""Tenancy sweep — allocation policies vs tenant count, churn and skew.
+
+Not a paper table: the multi-tenant cache-service experiment
+(:mod:`repro.tenants`) motivated by the ROADMAP's "cache service with
+millions of users" direction. A shared pool of blocks is partitioned
+among N tenants whose key popularity is Zipfian and whose activity
+churns (arrive/depart/idle epochs, bursts); each cell runs one
+allocation policy over one ``(tenants, churn, skew)`` point of the grid
+and reports aggregate and mean per-tenant hit rate, Jain fairness,
+SLA-violation pressure and reallocation churn.
+
+The interesting comparison is ``need`` (Memshare-style marginal-gain
+transfers) against ``static`` (equal split): at high tenant skew the
+busy tenants are starved by an equal split, so need-driven transfer
+should win aggregate hit rate — the assembled report ends with that
+verdict, and ``benchmarks/test_bench_tenancy.py`` pins it in the
+benchmark ledger.
+
+Every cell is an independent campaign job: the trace is regenerated
+from ``(spec, seed)`` inside the worker, so a parallel sweep is
+byte-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.sim.report import format_table
+from repro.sim.scale import scaled
+from repro.tenants.accounting import TenantAccounting
+from repro.tenants.policies import make_policy, policy_names
+from repro.tenants.service import CacheService
+from repro.workloads.tenants import TenantWorkloadSpec
+
+DEFAULT_TENANTS = (10, 100)
+DEFAULT_CHURN = (0.0, 0.3)
+DEFAULT_SKEW = (0.5, 1.0)
+#: Blocks each tenant's key space spans; capacity is a quarter of the sum.
+FOOTPRINT_BLOCKS = 128
+#: Zipf skew of key popularity inside each tenant.
+KEY_SKEW = 0.9
+#: Target per-tenant miss rate for SLA tracking (and the alg1 goal).
+SLA_MISS_RATE = 0.40
+EPOCHS = 10
+
+
+def tenancy_spec(tenants: int, churn: float, skew: float) -> TenantWorkloadSpec:
+    """The workload for one grid point (churny mixes also idle + burst)."""
+    return TenantWorkloadSpec(
+        name=f"tenancy-{tenants}t",
+        tenants=tenants,
+        footprint_blocks=FOOTPRINT_BLOCKS,
+        key_skew=KEY_SKEW,
+        tenant_skew=skew,
+        churn=churn,
+        idle_fraction=0.25 if churn else 0.0,
+        burst=0.2 if churn else 0.0,
+        epochs=EPOCHS,
+    )
+
+
+def run_tenancy_cell(
+    tenants: int,
+    churn: float,
+    skew: float,
+    policy: str,
+    refs: int,
+    seed: int = 1,
+    telemetry=None,
+) -> dict:
+    """One grid cell; returns a JSON-able metrics payload."""
+    spec = tenancy_spec(tenants, churn, skew)
+    trace = spec.generate(refs, seed=seed)
+    capacity = max(tenants * FOOTPRINT_BLOCKS // 4, 64)
+    service = CacheService(
+        capacity_blocks=capacity,
+        policy=make_policy(policy),
+        accounting=TenantAccounting(sla_miss_rate=SLA_MISS_RATE),
+        telemetry=telemetry,
+        epoch_refs=max(refs // EPOCHS, 1),
+    )
+    result = service.run(trace)
+    rates = result.tenant_hit_rates()
+    return {
+        "tenants": tenants,
+        "churn": churn,
+        "skew": skew,
+        "policy": policy,
+        "seen": result.tenants_seen,
+        "aggregate_hit_rate": result.aggregate_hit_rate(),
+        "mean_hit_rate": (
+            sum(rates.values()) / len(rates) if rates else 0.0
+        ),
+        "jain": result.mean_jain(),
+        "sla_violations": result.sla_violations,
+        "sla_violation_epochs": result.sla_violation_epochs,
+        "moved_blocks": result.moved_blocks,
+    }
+
+
+def record_tenancy_cell(
+    tenants: int,
+    churn: float,
+    skew: float,
+    policy: str,
+    refs: int,
+    seed: int,
+    path,
+) -> tuple[dict, int]:
+    """Run one cell with telemetry recorded to a JSONL file.
+
+    Returns ``(payload, events_written)``; the stream replays with
+    ``repro inspect`` (tenancy epoch table, SLA summary, hit-rate
+    curves).
+    """
+    from repro.telemetry import EventBus, JsonlSink
+
+    sink = JsonlSink(path)
+    bus = EventBus([sink], epoch_refs=0)
+    try:
+        payload = run_tenancy_cell(
+            tenants, churn, skew, policy, refs, seed=seed, telemetry=bus
+        )
+    finally:
+        bus.close()
+    return payload, sink.count
+
+
+def resolve_axis(values, default, cast, label: str) -> tuple:
+    """Sorted, deduplicated axis values with validation."""
+    resolved = sorted({cast(v) for v in (values or default)})
+    if not resolved:
+        raise ConfigError(f"tenancy sweep needs at least one {label} value")
+    return tuple(resolved)
+
+
+def resolve_grid(options: dict) -> list[tuple[int, float, float, str]]:
+    """The cell list, in deterministic sweep order."""
+    tenants = resolve_axis(options.get("tenants"), DEFAULT_TENANTS, int, "tenants")
+    if any(n < 1 for n in tenants):
+        raise ConfigError("tenant counts must be >= 1")
+    churn = resolve_axis(options.get("churn"), DEFAULT_CHURN, float, "churn")
+    skew = resolve_axis(options.get("skew"), DEFAULT_SKEW, float, "skew")
+    policies = tuple(options.get("policies") or policy_names())
+    known = set(policy_names())
+    unknown = [p for p in policies if p not in known]
+    if unknown:
+        raise ConfigError(
+            f"unknown allocation policies {unknown}; available: {sorted(known)}"
+        )
+    return [
+        (n, c, s, p)
+        for n in tenants
+        for c in churn
+        for s in skew
+        for p in policies
+    ]
+
+
+@dataclass(slots=True)
+class TenancyResult:
+    """The assembled sweep, in grid order."""
+
+    rows: list[dict] = field(default_factory=list)
+
+    def cell(self, tenants: int, churn: float, skew: float, policy: str) -> dict:
+        for row in self.rows:
+            if (
+                row["tenants"] == tenants
+                and row["churn"] == churn
+                and row["skew"] == skew
+                and row["policy"] == policy
+            ):
+                return row
+        raise KeyError((tenants, churn, skew, policy))
+
+    def _verdict(self) -> str:
+        """need vs static at the most hostile grid point both ran."""
+        points = sorted(
+            {
+                (row["tenants"], row["churn"], row["skew"])
+                for row in self.rows
+            },
+            key=lambda p: (p[1], p[2], p[0]),
+        )
+        for tenants, churn, skew in reversed(points):
+            try:
+                need = self.cell(tenants, churn, skew, "need")
+                static = self.cell(tenants, churn, skew, "static")
+            except KeyError:
+                continue
+            delta = need["aggregate_hit_rate"] - static["aggregate_hit_rate"]
+            comparison = "beats" if delta > 0 else "does NOT beat"
+            return (
+                f"verdict: need-driven {comparison} static split at "
+                f"{tenants} tenants, churn {churn:g}, skew {skew:g} "
+                f"({need['aggregate_hit_rate']:.4f} vs "
+                f"{static['aggregate_hit_rate']:.4f}, "
+                f"{delta:+.4f} aggregate hit rate)"
+            )
+        return "verdict: need/static comparison not in this grid"
+
+    def format(self) -> str:
+        table_rows = [
+            [
+                row["tenants"],
+                f"{row['churn']:g}",
+                f"{row['skew']:g}",
+                row["policy"],
+                f"{row['aggregate_hit_rate']:.4f}",
+                f"{row['mean_hit_rate']:.4f}",
+                f"{row['jain']:.3f}",
+                row["sla_violation_epochs"],
+                row["moved_blocks"],
+            ]
+            for row in self.rows
+        ]
+        table = format_table(
+            [
+                "tenants",
+                "churn",
+                "skew",
+                "policy",
+                "agg hit",
+                "mean hit",
+                "jain",
+                "SLA epochs",
+                "moved",
+            ],
+            table_rows,
+            title="Tenancy sweep — allocation policy vs tenant mix",
+        )
+        return table + "\n" + self._verdict()
+
+
+def assemble_cells(cells: list[dict]) -> TenancyResult:
+    return TenancyResult(rows=list(cells))
+
+
+def run_tenancy(
+    refs_per_app: int = 60_000,
+    seed: int = 1,
+    tenants=None,
+    churn=None,
+    skew=None,
+    policies=None,
+) -> TenancyResult:
+    """Sweep the tenancy grid serially."""
+    refs = scaled(refs_per_app)
+    grid = resolve_grid(
+        {"tenants": tenants, "churn": churn, "skew": skew, "policies": policies}
+    )
+    return assemble_cells(
+        [
+            run_tenancy_cell(n, c, s, p, refs, seed)
+            for n, c, s, p in grid
+        ]
+    )

@@ -1,0 +1,230 @@
+"""Per-tenant accounting: hit-rate curves, occupancy and SLA tracking.
+
+The allocation signal of reuse-aware partitioning (arXiv:2201.11638) is
+each tenant's *hit-rate curve* (HRC): estimated hit rate as a function of
+the capacity the tenant could be granted. Tracking exact stack distances
+per tenant is far too expensive at thousands of tenants, so each tenant
+carries a :class:`HitRateSampler` — SHARDS-style spatial sampling (only
+keys whose hash falls in ``1/sample_ratio`` of the space are tracked) over
+a small exact LRU stack, with measured distances scaled back up and
+folded into power-of-two buckets. Memory per tenant is bounded by
+``stack_cap`` sampled keys; cost per access is a guard plus, for sampled
+keys only, one list scan of at most ``stack_cap`` entries.
+
+The accounting object also owns SLA tracking: a tenant with a target miss
+rate is *violated* in an epoch when its epoch-local miss rate exceeds the
+target (given a minimum number of accesses, so idle tenants don't count).
+
+The hot-path contract mirrors the telemetry bus: a service built with
+``accounting=None`` pays exactly one ``is None`` check per access —
+``tests/test_tenant_service.py`` pins the contract and
+``benchmarks/test_perf_tenants_overhead.py`` guards the enabled cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+#: Knuth multiplicative hash constant (golden ratio) for key sampling.
+_HASH = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+class HitRateSampler:
+    """Sampled stack-distance histogram for one tenant, bucketed.
+
+    ``buckets[i]`` counts sampled references whose scaled stack distance
+    ``d`` satisfies ``2**(i-1) <= d < 2**i`` (bucket 0 is distance 0);
+    ``cold`` counts sampled first-touches. :meth:`hit_rate_at` integrates
+    the histogram into an estimated hit rate at a capacity, with linear
+    interpolation inside the covering bucket.
+    """
+
+    __slots__ = ("sample_ratio", "stack_cap", "_stack", "buckets", "cold", "samples")
+
+    def __init__(self, sample_ratio: int = 8, stack_cap: int = 256) -> None:
+        if sample_ratio < 1:
+            raise ConfigError("sample_ratio must be >= 1")
+        if stack_cap < 1:
+            raise ConfigError("stack_cap must be >= 1")
+        self.sample_ratio = sample_ratio
+        self.stack_cap = stack_cap
+        self._stack: list[int] = []  # most-recent first, sampled keys only
+        self.buckets: dict[int, int] = {}
+        self.cold = 0
+        self.samples = 0
+
+    def record(self, key: int) -> None:
+        """Feed one access (the service calls this for every reference)."""
+        if ((key * _HASH) & _MASK64) % self.sample_ratio:
+            return
+        self.samples += 1
+        stack = self._stack
+        try:
+            index = stack.index(key)
+        except ValueError:
+            self.cold += 1
+            stack.insert(0, key)
+            if len(stack) > self.stack_cap:
+                stack.pop()
+            return
+        del stack[index]
+        stack.insert(0, key)
+        distance = index * self.sample_ratio
+        bucket = distance.bit_length()  # 0 -> 0, [2**(i-1), 2**i) -> i
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    # ------------------------------------------------------------- curves
+
+    def hit_rate_at(self, capacity_blocks: int) -> float:
+        """Estimated hit rate were the tenant granted ``capacity_blocks``.
+
+        Cold (first-touch) references count as unavoidable misses, so the
+        curve saturates below 1.0 — exactly the fraction no capacity can
+        recover.
+        """
+        if self.samples == 0 or capacity_blocks <= 0:
+            return 0.0
+        hits = 0.0
+        for bucket, count in self.buckets.items():
+            low = 0 if bucket == 0 else 1 << (bucket - 1)
+            high = 1 if bucket == 0 else 1 << bucket
+            if capacity_blocks >= high:
+                hits += count
+            elif capacity_blocks > low:
+                hits += count * (capacity_blocks - low) / (high - low)
+        return hits / self.samples
+
+    def curve(self, max_blocks: int, points: int = 8) -> list[list[float]]:
+        """``[capacity, est_hit_rate]`` pairs on a doubling capacity grid."""
+        if max_blocks < 1:
+            return []
+        capacities: list[int] = []
+        capacity = 1
+        while capacity < max_blocks and len(capacities) < points - 1:
+            capacities.append(capacity)
+            capacity *= 2
+        capacities.append(max_blocks)
+        return [[c, round(self.hit_rate_at(c), 4)] for c in capacities]
+
+    def marginal_gain(self, low: int, high: int) -> float:
+        """Estimated extra hit rate from growing capacity ``low -> high``."""
+        if high <= low:
+            return 0.0
+        return self.hit_rate_at(high) - self.hit_rate_at(low)
+
+
+@dataclass(slots=True)
+class TenantLedger:
+    """Cumulative and epoch-local counters for one tenant."""
+
+    accesses: int = 0
+    hits: int = 0
+    epoch_accesses: int = 0
+    epoch_hits: int = 0
+    sla_violations: int = 0
+    violation_epochs: list[int] = field(default_factory=list)
+    sampler: HitRateSampler | None = None
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def epoch_hit_rate(self) -> float:
+        return (
+            self.epoch_hits / self.epoch_accesses if self.epoch_accesses else 0.0
+        )
+
+
+class TenantAccounting:
+    """Accounting for every tenant of one :class:`~repro.tenants.service.
+    CacheService` run.
+
+    Parameters
+    ----------
+    sla_miss_rate:
+        Target miss rate every tracked tenant should stay under, or
+        ``None`` to disable SLA tracking.
+    sample_ratio / stack_cap:
+        :class:`HitRateSampler` parameters.
+    min_epoch_accesses:
+        Epoch accesses below which a tenant's SLA is not evaluated.
+    """
+
+    def __init__(
+        self,
+        sla_miss_rate: float | None = None,
+        sample_ratio: int = 8,
+        stack_cap: int = 256,
+        min_epoch_accesses: int = 16,
+    ) -> None:
+        if sla_miss_rate is not None and not 0.0 <= sla_miss_rate <= 1.0:
+            raise ConfigError(
+                f"sla_miss_rate must be in [0, 1], got {sla_miss_rate}"
+            )
+        if min_epoch_accesses < 1:
+            raise ConfigError("min_epoch_accesses must be >= 1")
+        self.sla_miss_rate = sla_miss_rate
+        self.sample_ratio = sample_ratio
+        self.stack_cap = stack_cap
+        self.min_epoch_accesses = min_epoch_accesses
+        self.ledgers: dict[int, TenantLedger] = {}
+
+    # ------------------------------------------------------------ hot path
+
+    def record(self, tenant: int, key: int, hit: bool) -> None:
+        """One access; called by the service only when accounting is on."""
+        ledger = self.ledgers.get(tenant)
+        if ledger is None:
+            ledger = TenantLedger(
+                sampler=HitRateSampler(self.sample_ratio, self.stack_cap)
+            )
+            self.ledgers[tenant] = ledger
+        ledger.accesses += 1
+        ledger.epoch_accesses += 1
+        if hit:
+            ledger.hits += 1
+            ledger.epoch_hits += 1
+        ledger.sampler.record(key)
+
+    # -------------------------------------------------------------- epochs
+
+    def close_epoch(self, epoch: int) -> int:
+        """Evaluate SLAs and reset epoch counters; returns violations."""
+        violated = 0
+        for ledger in self.ledgers.values():
+            if (
+                self.sla_miss_rate is not None
+                and ledger.epoch_accesses >= self.min_epoch_accesses
+            ):
+                miss_rate = 1.0 - ledger.epoch_hit_rate()
+                if miss_rate > self.sla_miss_rate:
+                    ledger.sla_violations += 1
+                    ledger.violation_epochs.append(epoch)
+                    violated += 1
+            ledger.epoch_accesses = 0
+            ledger.epoch_hits = 0
+        return violated
+
+    # ------------------------------------------------------------- queries
+
+    def sampler_for(self, tenant: int) -> HitRateSampler | None:
+        ledger = self.ledgers.get(tenant)
+        return ledger.sampler if ledger is not None else None
+
+    def total_sla_violations(self) -> int:
+        return sum(l.sla_violations for l in self.ledgers.values())
+
+    def hit_rate_curves(
+        self, max_blocks: int, top: int = 8
+    ) -> dict[int, list[list[float]]]:
+        """HRCs of the ``top`` tenants by cumulative accesses."""
+        ranked = sorted(
+            self.ledgers.items(), key=lambda item: (-item[1].accesses, item[0])
+        )
+        return {
+            tenant: ledger.sampler.curve(max_blocks)
+            for tenant, ledger in ranked[:top]
+            if ledger.sampler is not None
+        }

@@ -1,10 +1,24 @@
-"""Unified lookup over every bundled benchmark model."""
+"""Unified lookup over every bundled benchmark model and workload family.
+
+Two kinds of entries live here:
+
+* **models** — ring-mixture :class:`~repro.workloads.model.BenchmarkModel`
+  stand-ins (the SPEC quartet and the mixed suite), looked up with
+  :func:`get_model`;
+* **families** — named groups of workloads with a shared generator, the
+  unit ``repro workloads`` lists. The ``tenants`` family's members are
+  :class:`~repro.workloads.tenants.TenantWorkloadSpec` presets, looked up
+  with :func:`get_tenant_spec`.
+"""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.workloads.mixed import MIXED_SUITE, mixed_model
 from repro.workloads.model import BenchmarkModel
 from repro.workloads.spec import SPEC_QUARTET, spec_model
+from repro.workloads.tenants import TENANT_SUITE, TenantWorkloadSpec, tenant_spec
 
 
 def available_models() -> list[str]:
@@ -24,3 +38,57 @@ def get_model(name: str) -> BenchmarkModel:
     if name in MIXED_SUITE:
         return mixed_model(name)
     raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+
+
+def get_tenant_spec(name: str) -> TenantWorkloadSpec:
+    """Look a tenant workload preset up by name."""
+    return tenant_spec(name)
+
+
+# ----------------------------------------------------------------- families
+
+@dataclass(frozen=True, slots=True)
+class WorkloadFamily:
+    """One listed workload family: a generator plus its bundled members."""
+
+    name: str
+    kind: str  # "model" (ring mixture) or "tenant" (cache-service mix)
+    description: str
+    members: tuple[str, ...]
+
+
+FAMILIES: dict[str, WorkloadFamily] = {
+    "spec": WorkloadFamily(
+        name="spec",
+        kind="model",
+        description="SPEC CPU2000 stand-ins (Table 1 / Figure 5 quartet)",
+        members=tuple(SPEC_QUARTET),
+    ),
+    "mixed": WorkloadFamily(
+        name="mixed",
+        kind="model",
+        description="mixed 12-benchmark suite (Table 2: SPEC/NetBench/MediaBench)",
+        members=tuple(MIXED_SUITE),
+    ),
+    "tenants": WorkloadFamily(
+        name="tenants",
+        kind="tenant",
+        description="multi-tenant cache-service mixes (Zipf keys, churn, "
+                    "bursts, diurnal phases)",
+        members=tuple(TENANT_SUITE),
+    ),
+}
+
+
+def available_families() -> list[WorkloadFamily]:
+    """Every registered family, in registration order."""
+    return list(FAMILIES.values())
+
+
+def get_family(name: str) -> WorkloadFamily:
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload family {name!r}; available: {sorted(FAMILIES)}"
+        ) from None

@@ -1,0 +1,321 @@
+"""Multi-tenant cache-service workload family: Zipf keys, churn, bursts.
+
+The ROADMAP's "millions of users" scenario reinterprets the paper's
+regions as *tenants* of a shared memory-cache service (Memshare,
+arXiv:1610.08129). This module generates the reference streams for that
+scenario:
+
+* **key popularity** — within each tenant, keys are ranked and drawn from
+  a bounded Zipf distribution (``key_skew``), the canonical model for
+  web-cache object popularity;
+* **tenant popularity** — traffic across tenants follows a second Zipf
+  over a seeded rank permutation (``tenant_skew``), so a few tenants are
+  hot and a long tail is cold;
+* **churn** — each tenant is a two-state (active/idle) Markov chain over
+  epochs: with probability ``churn`` per epoch a tenant departs or
+  (re-)arrives, which is what forces an allocation policy to reclaim and
+  re-grant capacity;
+* **bursts** — with probability ``burst`` an epoch elects one active
+  tenant whose traffic is multiplied by ``burst_factor``;
+* **diurnal phases** — optional sinusoidal modulation of per-tenant
+  traffic across epochs, with tenant-dependent phase offsets, modelling
+  time-zone-staggered daily load waves.
+
+Generation is **epoch-decomposable**: :func:`generate_epoch` produces any
+single epoch independently (a campaign worker can build just its slice)
+and :meth:`TenantWorkloadSpec.generate` is *defined* as the concatenation
+of the epochs, so the two paths are byte-identical by construction
+(``tests/test_tenant_workload.py`` pins this across process boundaries).
+All randomness derives from :class:`repro.common.rng.XorShift64` streams
+keyed on ``(seed, purpose, epoch)``, never from global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import XorShift64
+from repro.trace.container import Trace
+from repro.workloads.model import APP_SPACE_BYTES
+
+_MASK64 = (1 << 64) - 1
+
+#: Stream labels hashed into the per-purpose RNG seeds.
+_STREAM_PERM = 1
+_STREAM_INIT = 2
+_STREAM_CHURN = 3
+_STREAM_BURST = 4
+_STREAM_REFS = 5
+
+#: Diurnal modulation amplitude (traffic swings between 1-A and 1+A).
+_DIURNAL_AMPLITUDE = 0.75
+#: Floor for modulated weights so no active tenant fully vanishes.
+_WEIGHT_FLOOR = 0.05
+
+
+def stream_seed(seed: int, stream: int, epoch: int = 0) -> int:
+    """A 64-bit seed for one ``(seed, stream, epoch)`` random stream.
+
+    Chains :class:`XorShift64` generators so every stream is decorrelated
+    but fully determined by its key — the property that makes epoch
+    generation order-independent and campaign-decomposable.
+    """
+    rng = XorShift64((seed * 0x9E3779B97F4A7C15 + 1) & _MASK64)
+    value = rng.next_u64()
+    for part in (stream, epoch):
+        rng = XorShift64(value ^ (((part + 1) * 0xD1342543DE82EF95) & _MASK64))
+        value = rng.next_u64()
+    return value
+
+
+def _np_rng(seed: int, stream: int, epoch: int = 0) -> np.random.Generator:
+    return np.random.default_rng(stream_seed(seed, stream, epoch))
+
+
+def zipf_cumulative(n: int, skew: float) -> np.ndarray:
+    """Cumulative probabilities of a bounded Zipf over ranks ``1..n``."""
+    if n < 1:
+        raise ConfigError(f"zipf support must be >= 1, got {n}")
+    if skew < 0:
+        raise ConfigError(f"zipf skew must be >= 0, got {skew}")
+    weights = np.arange(1, n + 1, dtype=np.float64) ** -skew
+    cumulative = np.cumsum(weights)
+    return cumulative / cumulative[-1]
+
+
+@dataclass(frozen=True, slots=True)
+class TenantWorkloadSpec:
+    """One multi-tenant cache-service workload.
+
+    Parameters
+    ----------
+    name:
+        Label used by the registry, reports and presets.
+    tenants:
+        Number of tenants (each is one ASID in the generated trace).
+    footprint_blocks:
+        Distinct keys (64-byte blocks) per tenant.
+    key_skew:
+        Zipf exponent of key popularity within a tenant.
+    tenant_skew:
+        Zipf exponent of traffic share across tenant popularity ranks.
+    churn:
+        Per-epoch probability that a tenant flips between active and
+        idle (arrive/depart/idle cycles). 0 freezes the tenant set.
+    idle_fraction:
+        Fraction of tenants idle in epoch 0 (churn can wake them later).
+    burst:
+        Probability that an epoch elects a burst tenant.
+    burst_factor:
+        Traffic multiplier applied to the burst tenant's weight.
+    diurnal_phases:
+        Number of full diurnal cycles across the trace (0 disables).
+    epochs:
+        Number of equal-length epochs a generated trace is split into.
+    write_fraction:
+        Probability that a reference is a write.
+    """
+
+    name: str
+    tenants: int
+    footprint_blocks: int = 256
+    key_skew: float = 0.8
+    tenant_skew: float = 0.6
+    churn: float = 0.0
+    idle_fraction: float = 0.0
+    burst: float = 0.0
+    burst_factor: float = 8.0
+    diurnal_phases: int = 0
+    epochs: int = 8
+    write_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ConfigError(f"need at least one tenant, got {self.tenants}")
+        if self.footprint_blocks < 1:
+            raise ConfigError(
+                f"tenant footprint must be >= 1 block, got {self.footprint_blocks}"
+            )
+        if self.key_skew < 0 or self.tenant_skew < 0:
+            raise ConfigError("zipf skews must be non-negative")
+        for probability, label in (
+            (self.churn, "churn"),
+            (self.idle_fraction, "idle_fraction"),
+            (self.burst, "burst"),
+            (self.write_fraction, "write_fraction"),
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ConfigError(
+                    f"{label} must be a probability, got {probability}"
+                )
+        if self.burst_factor < 1.0:
+            raise ConfigError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+        if self.diurnal_phases < 0:
+            raise ConfigError("diurnal_phases must be >= 0")
+        if self.epochs < 1:
+            raise ConfigError("epochs must be >= 1")
+
+    # ---------------------------------------------------------- schedule
+
+    def tenant_ranks(self, seed: int) -> np.ndarray:
+        """Popularity rank (0 = hottest) of each tenant id."""
+        permutation = _np_rng(seed, _STREAM_PERM).permutation(self.tenants)
+        ranks = np.empty(self.tenants, dtype=np.int64)
+        ranks[permutation] = np.arange(self.tenants)
+        return ranks
+
+    def base_weights(self, seed: int) -> np.ndarray:
+        """Unnormalised Zipf traffic weights per tenant id."""
+        ranks = self.tenant_ranks(seed)
+        return (ranks + 1.0) ** -self.tenant_skew
+
+    def activity(self, seed: int, epoch: int) -> np.ndarray:
+        """Boolean active mask for one epoch.
+
+        The Markov chain is replayed from epoch 0 using only the
+        per-epoch churn streams, so any epoch's mask is computable
+        without generating the preceding epochs' traffic.
+        """
+        if not 0 <= epoch < self.epochs:
+            raise ConfigError(
+                f"epoch must be in [0, {self.epochs}), got {epoch}"
+            )
+        active = _np_rng(seed, _STREAM_INIT).random(self.tenants) >= self.idle_fraction
+        if self.churn > 0.0:
+            for step in range(1, epoch + 1):
+                flips = _np_rng(seed, _STREAM_CHURN, step).random(self.tenants)
+                active ^= flips < self.churn
+        if not active.any():
+            # An all-idle epoch would starve the service of traffic;
+            # keep the hottest-ranked tenant awake.
+            active[int(np.argmin(self.tenant_ranks(seed)))] = True
+        return active
+
+    def epoch_weights(self, seed: int, epoch: int) -> np.ndarray:
+        """Per-tenant traffic weights for one epoch (0 for idle tenants)."""
+        weights = self.base_weights(seed).copy()
+        if self.diurnal_phases > 0:
+            ranks = self.tenant_ranks(seed)
+            phase = (
+                self.diurnal_phases * epoch / self.epochs
+                + ranks / self.tenants
+            )
+            modulation = 1.0 + _DIURNAL_AMPLITUDE * np.cos(2.0 * np.pi * phase)
+            weights *= np.maximum(modulation, _WEIGHT_FLOOR)
+        active = self.activity(seed, epoch)
+        weights *= active
+        if self.burst > 0.0:
+            rng = _np_rng(seed, _STREAM_BURST, epoch)
+            if rng.random() < self.burst:
+                candidates = np.flatnonzero(active)
+                chosen = candidates[rng.integers(0, candidates.size)]
+                weights[chosen] *= self.burst_factor
+        return weights
+
+    # -------------------------------------------------------- generation
+
+    def epoch_bounds(self, n_refs: int) -> list[tuple[int, int]]:
+        """``[start, end)`` reference ranges of each epoch."""
+        if n_refs < 1:
+            raise ConfigError(f"n_refs must be >= 1, got {n_refs}")
+        base, excess = divmod(n_refs, self.epochs)
+        bounds: list[tuple[int, int]] = []
+        cursor = 0
+        for epoch in range(self.epochs):
+            length = base + (1 if epoch < excess else 0)
+            bounds.append((cursor, cursor + length))
+            cursor += length
+        return bounds
+
+    def generate_epoch(
+        self, n_refs: int, seed: int, epoch: int, line_bytes: int = 64
+    ) -> Trace:
+        """Generate one epoch's slice of the trace, independently.
+
+        ``n_refs`` is the *whole-trace* reference count — the epoch's own
+        length comes from :meth:`epoch_bounds`, so a worker holding only
+        ``(spec, n_refs, seed, epoch)`` reproduces exactly the slice the
+        in-process :meth:`generate` would have produced.
+        """
+        start, end = self.epoch_bounds(n_refs)[epoch]
+        length = end - start
+        if length == 0:
+            return Trace(np.empty(0, dtype=np.int64))
+        rng = _np_rng(seed, _STREAM_REFS, epoch)
+        weights = self.epoch_weights(seed, epoch)
+        total = weights.sum()
+        if total <= 0.0:  # pragma: no cover - activity() forbids this
+            raise ConfigError("epoch has no active tenant traffic")
+        tenants = rng.choice(
+            self.tenants, size=length, p=weights / total
+        ).astype(np.int32)
+        key_cumulative = zipf_cumulative(self.footprint_blocks, self.key_skew)
+        keys = np.searchsorted(
+            key_cumulative, rng.random(length), side="right"
+        ).astype(np.int64)
+        line_shift = int(line_bytes).bit_length() - 1
+        bases = (tenants.astype(np.int64) * APP_SPACE_BYTES) >> line_shift
+        addresses = (bases + keys) << line_shift
+        writes = rng.random(length) < self.write_fraction
+        return Trace(addresses, tenants, writes)
+
+    def generate(self, n_refs: int, seed: int = 0, line_bytes: int = 64) -> Trace:
+        """Generate the full trace — the concatenation of all epochs."""
+        return Trace.concatenate(
+            self.generate_epoch(n_refs, seed, epoch, line_bytes=line_bytes)
+            for epoch in range(self.epochs)
+        )
+
+    # ---------------------------------------------------------- geometry
+
+    def footprint_total_blocks(self) -> int:
+        """Aggregate distinct blocks across every tenant."""
+        return self.tenants * self.footprint_blocks
+
+    def scaled_tenants(self, tenants: int, name: str | None = None) -> "TenantWorkloadSpec":
+        """A copy of this spec with a different tenant count."""
+        return replace(self, tenants=tenants, name=name or self.name)
+
+
+# ------------------------------------------------------------------ presets
+
+def _presets() -> dict[str, TenantWorkloadSpec]:
+    return {
+        "tenants10": TenantWorkloadSpec(
+            name="tenants10", tenants=10, footprint_blocks=512,
+            key_skew=0.9, tenant_skew=0.6,
+        ),
+        "tenants100": TenantWorkloadSpec(
+            name="tenants100", tenants=100, footprint_blocks=256,
+            key_skew=0.8, tenant_skew=0.8, churn=0.1, idle_fraction=0.2,
+        ),
+        "tenants-churn": TenantWorkloadSpec(
+            name="tenants-churn", tenants=100, footprint_blocks=256,
+            key_skew=0.9, tenant_skew=1.0, churn=0.35, idle_fraction=0.3,
+            burst=0.5, burst_factor=8.0,
+        ),
+        "tenants-diurnal": TenantWorkloadSpec(
+            name="tenants-diurnal", tenants=64, footprint_blocks=256,
+            key_skew=0.8, tenant_skew=0.8, diurnal_phases=2, epochs=16,
+        ),
+    }
+
+
+#: Canonical preset order for listings and tests.
+TENANT_SUITE = tuple(_presets())
+
+
+def tenant_spec(name: str) -> TenantWorkloadSpec:
+    """Return one of the bundled tenant workload presets."""
+    presets = _presets()
+    try:
+        return presets[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown tenant workload {name!r}; available: {sorted(presets)}"
+        ) from None

@@ -225,3 +225,67 @@ class TestBenchReportCli:
             main(["bench-report", "--ledger", str(tmp_path / "nope")]) == 2
         )
         assert "error:" in capsys.readouterr().err
+
+
+class TestSingletonMetrics:
+    """A metric with a single entry at its scale has nothing to diff —
+    the report must say so explicitly instead of silently dropping it."""
+
+    def test_single_entry_is_a_singleton(self):
+        from repro.prof.ledger import singleton_metrics
+
+        assert singleton_metrics([entry()]) == [("sim_time", 1.0)]
+
+    def test_paired_entries_are_not(self):
+        from repro.prof.ledger import singleton_metrics
+
+        pair = [entry(timestamp=1.0), entry(timestamp=2.0)]
+        assert singleton_metrics(pair) == []
+
+    def test_same_metric_different_scales_both_singletons(self):
+        from repro.prof.ledger import singleton_metrics
+
+        entries = [entry(scale=1.0), entry(scale=4.0)]
+        assert singleton_metrics(entries) == [
+            ("sim_time", 1.0),
+            ("sim_time", 4.0),
+        ]
+
+    def test_sorted_output(self):
+        from repro.prof.ledger import singleton_metrics
+
+        entries = [entry(metric="zz_last"), entry(metric="aa_first")]
+        assert singleton_metrics(entries) == [
+            ("aa_first", 1.0),
+            ("zz_last", 1.0),
+        ]
+
+    def test_format_report_notices_singletons_without_diffs(self):
+        text = format_report([], 0.20, singletons=[("new_metric", 1.0)])
+        assert "nothing to diff" in text
+        assert "first run, skipped: new_metric (scale 1)" in text
+
+    def test_format_report_appends_singletons_after_diffs(self):
+        diffs = diff_ledger(
+            [entry(value=1.0, timestamp=1.0), entry(value=1.01, timestamp=2.0)]
+        )
+        text = format_report(diffs, 0.20, singletons=[("new_metric", 0.5)])
+        assert "first run, skipped: new_metric (scale 0.5)" in text
+        assert "no regressions" in text
+
+    def test_cli_reports_singleton_alongside_pairs(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        write_entry(ledger, "sim_time", 1.0, "s", timestamp=100.0)
+        write_entry(ledger, "sim_time", 1.02, "s", timestamp=200.0)
+        write_entry(ledger, "fresh_metric", 3.0, "s", timestamp=300.0)
+        assert main(["bench-report", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "first run, skipped: fresh_metric" in out
+
+    def test_cli_singleton_only_ledger_passes(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        write_entry(ledger, "fresh_metric", 3.0, "s", timestamp=1.0)
+        assert main(["bench-report", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to diff" in out
+        assert "first run, skipped: fresh_metric" in out

@@ -1,0 +1,126 @@
+"""CLI surface of the multi-tenant subsystem.
+
+``repro workloads`` (family listing), the three modes of ``repro
+tenants`` (serial sweep, campaign, recorded showcase cell) and the
+``repro inspect`` rendering of a recorded tenancy stream. Runs at tiny
+scale like the campaign tests — the 10k-reference floor keeps cells
+real but fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+TINY_SCALE = "0.02"
+
+#: One hostile grid point, three policies: a 3-cell sweep.
+SWEEP_ARGS = ["--tenants", "10", "--churn", "0.3", "--skew", "1.0"]
+
+
+@pytest.fixture(autouse=True)
+def _tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", TINY_SCALE)
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_families_and_members(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for family in ("spec (", "mixed (", "tenants ("):
+            assert family in out
+        # Tenant presets appear as indented members.
+        assert "  tenants-churn" in out
+        assert "  tenants-diurnal" in out
+
+
+class TestTenantsSerial:
+    def test_sweep_prints_table_and_verdict(self, capsys):
+        assert main(["tenants", *SWEEP_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "Tenancy sweep" in out
+        for policy in ("static", "need", "alg1"):
+            assert policy in out
+        assert "verdict: need-driven" in out
+
+    def test_policy_filter(self, capsys):
+        assert main(["tenants", *SWEEP_ARGS, "--policies", "static"]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out
+        assert "alg1" not in out
+
+    def test_bad_policy_errors(self, capsys):
+        assert main(["tenants", "--policies", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_axis_errors(self, capsys):
+        assert main(["tenants", "--tenants", ","]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTenantsCampaign:
+    def test_campaign_matches_serial(self, tmp_path, capsys):
+        assert main(["tenants", *SWEEP_ARGS]) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "tenants", *SWEEP_ARGS,
+                    "--jobs", "2",
+                    "--out", str(tmp_path / "store"),
+                ]
+            )
+            == 0
+        )
+        campaign = capsys.readouterr()
+        assert campaign.out == serial_out
+        assert str(tmp_path / "store") in campaign.err
+
+    def test_resume_uses_cached_jobs(self, tmp_path, capsys):
+        args = [
+            "tenants", *SWEEP_ARGS,
+            "--jobs", "1",
+            "--out", str(tmp_path / "store"),
+            "--resume",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "cached" in second.err
+
+
+class TestTenantsRecord:
+    def test_record_then_inspect(self, tmp_path, capsys):
+        events = tmp_path / "tenancy.jsonl"
+        assert (
+            main(["tenants", *SWEEP_ARGS, "--record", str(events)]) == 0
+        )
+        recorded = capsys.readouterr()
+        assert "recorded tenancy cell: 10 tenants" in recorded.out
+        assert "aggregate hit rate" in recorded.out
+        assert str(events) in recorded.err
+        assert events.exists()
+
+        assert main(["inspect", str(events)]) == 0
+        inspected = capsys.readouterr().out
+        assert "Tenancy epochs" in inspected
+        assert "Tenancy run" in inspected
+        assert "Worst-served tenants" in inspected
+        assert "hit-rate curves" in inspected
+
+    def test_record_respects_policy_choice(self, tmp_path, capsys):
+        events = tmp_path / "tenancy.jsonl"
+        assert (
+            main(
+                [
+                    "tenants", *SWEEP_ARGS,
+                    "--policies", "alg1",
+                    "--record", str(events),
+                ]
+            )
+            == 0
+        )
+        assert "policy alg1" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Tenant-to-region binding onto the architectural molecular cache.
+
+:class:`~repro.molecular.tenancy.TenantRegionBinding` lets a churning
+tenant workload exercise the real region machinery (Algorithm 1 resize,
+Randy placement) by lazily mapping each tenant id onto an exclusive
+region at first touch — unlike the CMP runner, which assigns every
+application up front. Pins: lazy creation, stat extraction from region
+counters, determinism, and cooperation with a fault plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.molecular.cache import MolecularCache
+from repro.molecular.config import MolecularCacheConfig, ResizePolicy
+from repro.molecular.tenancy import TenantRegionBinding
+from repro.workloads.tenants import TenantWorkloadSpec
+
+
+def make_binding(**kwargs) -> TenantRegionBinding:
+    config = MolecularCacheConfig(
+        molecule_bytes=1024,
+        line_bytes=64,
+        molecules_per_tile=8,
+        tiles_per_cluster=2,
+        clusters=1,
+        strict=False,
+    )
+    cache = MolecularCache(
+        config, resize_policy=ResizePolicy(period=2_000, trigger="constant")
+    )
+    return TenantRegionBinding(cache, **kwargs)
+
+
+def tenant_trace(tenants: int = 6, refs: int = 3_000):
+    spec = TenantWorkloadSpec(
+        name="bind",
+        tenants=tenants,
+        footprint_blocks=32,
+        churn=0.3,
+        idle_fraction=0.25,
+        epochs=4,
+    )
+    return spec.generate(refs, seed=11)
+
+
+class TestLazyRegionCreation:
+    def test_regions_appear_on_first_touch(self):
+        binding = make_binding()
+        assert binding.cache.regions == {}
+        binding.access(block=1, tenant=3)
+        assert set(binding.cache.regions) == {3}
+        binding.access(block=2, tenant=0)
+        assert set(binding.cache.regions) == {0, 3}
+        # A repeat touch does not recreate or disturb the region.
+        region = binding.cache.regions[3]
+        binding.access(block=1, tenant=3)
+        assert binding.cache.regions[3] is region
+
+    def test_initial_allocation_is_small(self):
+        binding = make_binding(initial_molecules=1)
+        binding.access(block=1, tenant=0)
+        assert binding.cache.regions[0].molecule_count == 1
+
+    def test_rejects_bad_initial_molecules(self):
+        with pytest.raises(ConfigError):
+            make_binding(initial_molecules=0)
+
+
+class TestRunAndStats:
+    def test_run_covers_all_active_tenants(self):
+        binding = make_binding()
+        trace = tenant_trace()
+        stats = binding.run(trace)
+        assert set(stats) == set(trace.asids.tolist())
+        assert sum(s["accesses"] for s in stats.values()) == len(trace)
+        for s in stats.values():
+            assert 0.0 <= s["hit_rate"] <= 1.0
+            assert s["misses"] <= s["accesses"]
+            assert s["molecules"] >= 1
+
+    def test_stats_sorted_by_tenant_id(self):
+        binding = make_binding()
+        stats = binding.run(tenant_trace())
+        assert list(stats) == sorted(stats)
+
+    def test_run_is_deterministic(self):
+        trace = tenant_trace()
+        assert make_binding().run(trace) == make_binding().run(trace)
+
+    def test_resize_engine_reacts_to_tenant_pressure(self):
+        """With a short resize period, at least one busy tenant's region
+        moves off its initial single molecule."""
+        binding = make_binding(goal=0.2)
+        stats = binding.run(tenant_trace(tenants=3, refs=6_000))
+        assert max(s["molecules"] for s in stats.values()) > 1

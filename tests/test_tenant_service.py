@@ -1,0 +1,406 @@
+"""Cache service, accounting and allocation policies: unit behavior.
+
+Covers the pieces of :mod:`repro.tenants` individually — sampled
+hit-rate curves (monotone, cold-capped), SLA ledgers, exact per-tenant
+LRU semantics, admission (bootstrap grants and the steal path), policy
+output validation, the three allocation policies, Jain's index, and the
+structural zero-cost contract: the access path reads ``accounting``
+exactly once per reference (``test_prof_zero_cost.py`` style lookup
+counting, not wall-clock racing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.tenants.accounting import HitRateSampler, TenantAccounting
+from repro.tenants.policies import (
+    Algorithm1Tenancy,
+    AllocationPolicy,
+    NeedDriven,
+    StaticProportional,
+    TenantView,
+    jain_index,
+    make_policy,
+    policy_names,
+)
+from repro.tenants.service import CacheService
+from repro.workloads.tenants import TenantWorkloadSpec
+
+
+def make_view(
+    tenant: int,
+    allocation: int,
+    epoch_accesses: int = 0,
+    epoch_hits: int = 0,
+    sampler: HitRateSampler | None = None,
+) -> TenantView:
+    return TenantView(
+        tenant=tenant,
+        allocation=allocation,
+        occupancy=allocation,
+        epoch_accesses=epoch_accesses,
+        epoch_hits=epoch_hits,
+        sampler=sampler,
+        sla_miss_rate=0.4,
+    )
+
+
+# -------------------------------------------------------------- accounting
+
+
+class TestHitRateSampler:
+    def test_curve_monotone_in_capacity(self):
+        sampler = HitRateSampler(sample_ratio=1, stack_cap=64)
+        for _ in range(50):
+            for key in range(16):
+                sampler.record(key)
+        rates = [sampler.hit_rate_at(c) for c in (1, 2, 4, 8, 16, 32, 64)]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+        assert 0.0 <= rates[0] and rates[-1] <= 1.0
+
+    def test_cold_misses_cap_the_curve(self):
+        sampler = HitRateSampler(sample_ratio=1, stack_cap=64)
+        for key in range(32):  # every reference is a first touch
+            sampler.record(key)
+        assert sampler.cold == 32
+        assert sampler.hit_rate_at(10_000) == 0.0
+
+    def test_repeat_key_hits_distance_zero_bucket(self):
+        sampler = HitRateSampler(sample_ratio=1, stack_cap=8)
+        sampler.record(5)
+        sampler.record(5)
+        assert sampler.buckets == {0: 1}
+        assert sampler.hit_rate_at(1) == pytest.approx(0.5)
+
+    def test_sampling_ratio_filters_keys(self):
+        sampler = HitRateSampler(sample_ratio=8, stack_cap=64)
+        for key in range(256):
+            sampler.record(key)
+        assert 0 < sampler.samples < 256
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            HitRateSampler(sample_ratio=0)
+        with pytest.raises(ConfigError):
+            HitRateSampler(stack_cap=0)
+
+
+class TestTenantAccounting:
+    def test_sla_violation_tracked_per_epoch(self):
+        accounting = TenantAccounting(sla_miss_rate=0.4, min_epoch_accesses=4)
+        for _ in range(10):  # all misses: miss rate 1.0 > 0.4
+            accounting.record(1, 7, hit=False)
+        assert accounting.close_epoch(0) == 1
+        ledger = accounting.ledgers[1]
+        assert ledger.sla_violations == 1
+        assert ledger.violation_epochs == [0]
+        # Counters reset; an idle epoch does not violate.
+        assert accounting.close_epoch(1) == 0
+
+    def test_low_traffic_tenant_not_evaluated(self):
+        accounting = TenantAccounting(sla_miss_rate=0.4, min_epoch_accesses=16)
+        accounting.record(1, 7, hit=False)
+        assert accounting.close_epoch(0) == 0
+
+    def test_hit_rate_curves_rank_by_accesses(self):
+        accounting = TenantAccounting(sample_ratio=1)
+        for _ in range(20):
+            accounting.record(1, 3, hit=True)
+        accounting.record(2, 3, hit=True)
+        curves = accounting.hit_rate_curves(max_blocks=8, top=1)
+        assert list(curves) == [1]
+
+
+# ----------------------------------------------------------------- service
+
+
+def build_service(policy=None, accounting=None, **kwargs) -> CacheService:
+    return CacheService(
+        capacity_blocks=kwargs.pop("capacity_blocks", 64),
+        policy=policy or StaticProportional(),
+        accounting=accounting,
+        epoch_refs=kwargs.pop("epoch_refs", 1_000_000),
+        **kwargs,
+    )
+
+
+class TestServiceLRU:
+    def test_hit_refreshes_recency(self):
+        service = build_service(bootstrap_blocks=2)
+        service.access(0, 1)
+        service.access(0, 2)
+        service.access(0, 1)  # refresh key 1
+        service.access(0, 3)  # evicts key 2, the LRU
+        assert service.access(0, 1) is True
+        assert service.access(0, 2) is False
+
+    def test_partition_respects_allocation(self):
+        service = build_service(bootstrap_blocks=4)
+        for key in range(10):
+            service.access(0, key)
+        assert len(service.partitions[0]) == 4
+
+    def test_write_marks_dirty(self):
+        service = build_service(bootstrap_blocks=2)
+        service.access(0, 1, write=True)
+        assert service.partitions[0][1] is True
+        service.access(0, 1, write=False)  # a clean hit keeps dirty
+        assert service.partitions[0][1] is True
+
+
+class TestAdmission:
+    def test_bootstrap_grant(self):
+        service = build_service(bootstrap_blocks=8)
+        service.access(3, 1)
+        assert service.allocations[3] == 8
+        assert service.free_blocks() == 64 - 8
+
+    def test_steal_from_largest_when_pool_dry(self):
+        service = build_service(capacity_blocks=16, bootstrap_blocks=8)
+        service.access(0, 1)
+        service.access(1, 1)  # pool now empty (8 + 8)
+        service.access(2, 1)  # must steal from an incumbent
+        assert sum(service.allocations.values()) <= 16
+        assert service.allocations[2] >= 1
+        assert min(service.allocations.values()) >= 1
+
+    def test_admission_fails_when_capacity_exhausted(self):
+        service = build_service(capacity_blocks=2, bootstrap_blocks=1)
+        service.access(0, 1)
+        service.access(1, 1)
+        with pytest.raises(ConfigError):
+            service.access(2, 1)
+
+
+class BadPolicy(AllocationPolicy):
+    name = "bad"
+
+    def __init__(self, result):
+        self.result = result
+
+    def rebalance(self, epoch, capacity, tenants):
+        return self.result if not callable(self.result) else self.result(tenants)
+
+
+class TestRebalanceValidation:
+    def run_one_epoch(self, policy) -> CacheService:
+        service = build_service(policy=policy, epoch_refs=4)
+        for key in range(4):
+            service.access(0, key)
+        return service
+
+    def test_over_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            self.run_one_epoch(BadPolicy(lambda t: {0: 1000}))
+
+    def test_missing_tenant_rejected(self):
+        with pytest.raises(ConfigError):
+            self.run_one_epoch(BadPolicy(lambda t: {}))
+
+    def test_zero_block_grant_rejected(self):
+        with pytest.raises(ConfigError):
+            self.run_one_epoch(BadPolicy(lambda t: {0: 0}))
+
+    def test_shrink_below_occupancy_evicts(self):
+        service = build_service(
+            policy=BadPolicy(lambda t: {0: 2}),
+            epoch_refs=8,
+            bootstrap_blocks=8,
+        )
+        for key in range(8):
+            service.access(0, key)
+        assert service.allocations[0] == 2
+        assert len(service.partitions[0]) <= 2
+
+
+class TestZeroCostContract:
+    def test_one_accounting_lookup_per_access(self):
+        """The hot path reads ``accounting`` exactly once per reference."""
+
+        class CountingService(CacheService):
+            def __init__(self, *args, **kwargs):
+                self.accounting_lookups = 0
+                self._accounting = None
+                super().__init__(*args, **kwargs)
+
+            @property
+            def accounting(self):
+                self.accounting_lookups += 1
+                return self._accounting
+
+            @accounting.setter
+            def accounting(self, value):
+                self._accounting = value
+
+        service = CountingService(
+            capacity_blocks=64,
+            policy=StaticProportional(),
+            accounting=None,
+            epoch_refs=1_000_000,
+        )
+        service.accounting_lookups = 0
+        for key in range(100):
+            service.access(0, key)
+        assert service.accounting_lookups == 100
+
+    def test_disabled_accounting_result_identical(self):
+        spec = TenantWorkloadSpec(
+            name="t", tenants=4, footprint_blocks=32, epochs=2
+        )
+        trace = spec.generate(2_000, seed=5)
+
+        def run(accounting):
+            service = CacheService(
+                capacity_blocks=64,
+                policy=StaticProportional(),
+                accounting=accounting,
+                epoch_refs=500,
+            )
+            result = service.run(trace)
+            return (
+                result.total_hits,
+                result.final_allocations,
+                result.moved_blocks,
+            )
+
+        # StaticProportional ignores accounting, so hit totals and the
+        # allocation trajectory must not depend on it being attached.
+        assert run(None) == run(TenantAccounting(sla_miss_rate=0.4))
+
+
+# ---------------------------------------------------------------- policies
+
+
+class TestStaticProportional:
+    def test_equal_split_with_remainder(self):
+        policy = StaticProportional()
+        views = {t: make_view(t, 1) for t in (0, 1, 2)}
+        split = policy.rebalance(0, 10, views)
+        assert sorted(split.values(), reverse=True) == [4, 3, 3]
+        assert sum(split.values()) == 10
+
+    def test_split_cached_until_churn(self):
+        policy = StaticProportional()
+        views = {t: make_view(t, 1) for t in (0, 1)}
+        first = policy.rebalance(0, 8, views)
+        second = policy.rebalance(1, 8, views)
+        assert first == second
+        views[2] = make_view(2, 1)
+        third = policy.rebalance(2, 8, views)
+        assert set(third) == {0, 1, 2}
+
+
+class TestNeedDriven:
+    def test_free_pool_flows_to_needy_tenant(self):
+        # Cycling 10 keys puts reuse distance 9 in the [8, 16) bucket:
+        # growing 8 -> 12 blocks shows positive marginal gain.
+        hot = HitRateSampler(sample_ratio=1, stack_cap=64)
+        for _ in range(10):
+            for key in range(10):
+                hot.record(key)
+        policy = NeedDriven(quantum=4)
+        views = {
+            0: make_view(0, 8, epoch_accesses=1000, epoch_hits=100, sampler=hot),
+            1: make_view(1, 8),  # idle
+        }
+        alloc = policy.rebalance(0, 64, views)
+        assert alloc[0] > 8
+        assert sum(alloc.values()) <= 64
+
+    def test_idle_tenant_donates(self):
+        # Reuse distance 19 sits in the [16, 32) bucket, so the hot
+        # tenant (allocation 16) still gains from every extra quantum.
+        hot = HitRateSampler(sample_ratio=1, stack_cap=64)
+        for _ in range(10):
+            for key in range(20):
+                hot.record(key)
+        policy = NeedDriven(quantum=4, max_move_fraction=0.5)
+        views = {
+            0: make_view(0, 16, epoch_accesses=1000, epoch_hits=100, sampler=hot),
+            1: make_view(1, 48),  # idle incumbent hoarding capacity
+        }
+        alloc = policy.rebalance(0, 64, views)
+        assert alloc[0] > 16
+        assert alloc[1] < 48
+        assert alloc[1] >= 1
+        assert sum(alloc.values()) <= 64
+
+    def test_no_signal_no_movement(self):
+        policy = NeedDriven()
+        views = {t: make_view(t, 8) for t in (0, 1)}
+        assert policy.rebalance(0, 64, views) == {0: 8, 1: 8}
+
+
+class TestAlgorithm1Tenancy:
+    def test_missing_tenant_grows_from_free_pool(self):
+        policy = Algorithm1Tenancy(quantum=4)
+        views = {
+            0: make_view(0, 8, epoch_accesses=100, epoch_hits=10),  # panic
+            1: make_view(1, 8, epoch_accesses=100, epoch_hits=95),  # happy
+        }
+        alloc = policy.rebalance(0, 64, views)
+        assert alloc[0] > 8
+        assert sum(alloc.values()) <= 64
+
+    def test_withdraw_when_well_under_goal(self):
+        policy = Algorithm1Tenancy(quantum=2)
+        views = {0: make_view(0, 32, epoch_accesses=100, epoch_hits=99)}
+        alloc = policy.rebalance(0, 64, views)
+        assert alloc[0] < 32
+        assert alloc[0] >= 1
+
+    def test_idle_tenant_held(self):
+        policy = Algorithm1Tenancy()
+        views = {0: make_view(0, 16)}
+        assert policy.rebalance(0, 64, views) == {0: 16}
+
+
+class TestPolicyRegistry:
+    def test_names(self):
+        assert policy_names() == ["static", "need", "alg1"]
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("static"), StaticProportional)
+        assert isinstance(make_policy("need"), NeedDriven)
+        assert isinstance(make_policy("alg1"), Algorithm1Tenancy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            make_policy("nope")
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_perfectly_unfair(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+
+class TestRunResult:
+    def test_run_produces_epoch_stats_and_totals(self):
+        spec = TenantWorkloadSpec(
+            name="t", tenants=6, footprint_blocks=32, churn=0.3,
+            idle_fraction=0.25, epochs=4,
+        )
+        trace = spec.generate(4_000, seed=3)
+        service = CacheService(
+            capacity_blocks=96,
+            policy=make_policy("need"),
+            accounting=TenantAccounting(sla_miss_rate=0.4),
+            epoch_refs=1_000,
+        )
+        result = service.run(trace)
+        assert result.epochs == 4
+        assert result.total_accesses == 4_000
+        assert len(result.epoch_stats) == 4
+        assert 0.0 <= result.aggregate_hit_rate() <= 1.0
+        assert 0.0 < result.mean_jain() <= 1.0
+        assert sum(result.tenant_accesses.values()) == 4_000
+        assert sum(result.final_allocations.values()) <= 96

@@ -1,0 +1,173 @@
+"""Tenant workload family: determinism, decomposition, trace shape.
+
+The tenancy campaign regenerates each cell's trace inside a worker
+process from ``(spec, seed)`` alone, so the byte-identity of a parallel
+sweep rests on three properties pinned here:
+
+* generation is deterministic in-process;
+* epoch generation decomposes: ``generate_epoch`` slices equal the
+  monolithic ``generate`` output;
+* the trace is byte-identical *across process boundaries* (hash
+  comparison through a subprocess), in the style of
+  ``test_prop_workloads_power.py``'s determinism properties.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.workloads.model import APP_SPACE_BYTES
+from repro.workloads.registry import available_families, get_family
+from repro.workloads.tenants import (
+    TENANT_SUITE,
+    TenantWorkloadSpec,
+    stream_seed,
+    tenant_spec,
+    zipf_cumulative,
+)
+
+specs = st.builds(
+    TenantWorkloadSpec,
+    name=st.just("prop"),
+    tenants=st.integers(min_value=1, max_value=64),
+    footprint_blocks=st.integers(min_value=4, max_value=512),
+    key_skew=st.floats(min_value=0.0, max_value=1.2),
+    tenant_skew=st.floats(min_value=0.0, max_value=1.2),
+    churn=st.floats(min_value=0.0, max_value=0.9),
+    idle_fraction=st.floats(min_value=0.0, max_value=0.9),
+    burst=st.floats(min_value=0.0, max_value=0.9),
+    burst_factor=st.floats(min_value=1.0, max_value=16.0),
+    diurnal_phases=st.integers(min_value=0, max_value=4),
+    epochs=st.integers(min_value=1, max_value=6),
+    write_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+def trace_digest(trace) -> str:
+    digest = hashlib.sha256()
+    digest.update(trace.addresses.tobytes())
+    digest.update(trace.asids.tobytes())
+    digest.update(trace.writes.tobytes())
+    return digest.hexdigest()
+
+
+class TestTenantTraceProperties:
+    @given(spec=specs, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_generation_deterministic(self, spec, seed):
+        assert spec.generate(400, seed=seed) == spec.generate(400, seed=seed)
+
+    @given(spec=specs, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_trace_shape(self, spec, seed):
+        trace = spec.generate(500, seed=seed)
+        assert len(trace) == 500
+        assert (trace.addresses % 64 == 0).all()
+        asids = set(trace.asids.tolist())
+        assert asids <= set(range(spec.tenants))
+        # Every address sits inside its tenant's address space.
+        assert (
+            trace.addresses // APP_SPACE_BYTES == trace.asids
+        ).all()
+
+    @given(spec=specs, seed=st.integers(min_value=0, max_value=2**14))
+    @settings(max_examples=20, deadline=None)
+    def test_epoch_decomposition(self, spec, seed):
+        n_refs = 600
+        whole = spec.generate(n_refs, seed=seed)
+        for epoch in range(spec.epochs):
+            start, end = spec.epoch_bounds(n_refs)[epoch]
+            piece = spec.generate_epoch(n_refs, seed, epoch)
+            assert piece == whole[start:end]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        stream=st.integers(min_value=0, max_value=16),
+        epoch=st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stream_seeds_distinct_axes(self, seed, stream, epoch):
+        base = stream_seed(seed, stream, epoch)
+        assert base == stream_seed(seed, stream, epoch)
+        assert base != stream_seed(seed + 1, stream, epoch)
+        assert base != stream_seed(seed, stream + 1, epoch)
+        assert base != stream_seed(seed, stream, epoch + 1)
+
+
+class TestZipf:
+    def test_cumulative_shape(self):
+        cumulative = zipf_cumulative(100, 0.9)
+        assert len(cumulative) == 100
+        assert cumulative[-1] == pytest.approx(1.0)
+        # Skewed: the head of the popularity ranking dominates.
+        assert cumulative[9] > 0.5
+
+    def test_zero_skew_is_uniform(self):
+        cumulative = zipf_cumulative(10, 0.0)
+        assert cumulative[0] == pytest.approx(0.1)
+        assert cumulative[4] == pytest.approx(0.5)
+
+
+class TestCrossProcessDeterminism:
+    def test_trace_byte_identical_across_processes(self, tmp_path):
+        """Same spec + seed hashes identically in a fresh interpreter."""
+        spec = tenant_spec("tenants-churn")
+        local = trace_digest(spec.generate(5_000, seed=99))
+        script = (
+            "import hashlib\n"
+            "from repro.workloads.tenants import tenant_spec\n"
+            "t = tenant_spec('tenants-churn').generate(5_000, seed=99)\n"
+            "d = hashlib.sha256()\n"
+            "d.update(t.addresses.tobytes())\n"
+            "d.update(t.asids.tobytes())\n"
+            "d.update(t.writes.tobytes())\n"
+            "print(d.hexdigest())\n"
+        )
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert remote == local
+
+
+class TestSpecValidation:
+    def test_rejects_bad_tenants(self):
+        with pytest.raises(ConfigError):
+            TenantWorkloadSpec(name="bad", tenants=0)
+
+    def test_rejects_bad_churn(self):
+        with pytest.raises(ConfigError):
+            TenantWorkloadSpec(name="bad", tenants=2, churn=1.5)
+
+    def test_presets_resolve(self):
+        for name in TENANT_SUITE:
+            spec = tenant_spec(name)
+            assert spec.tenants >= 1
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            tenant_spec("nope")
+
+
+class TestRegistryFamilies:
+    def test_families_listed(self):
+        names = [family.name for family in available_families()]
+        assert names == ["spec", "mixed", "tenants"]
+
+    def test_tenant_family_members(self):
+        family = get_family("tenants")
+        assert family.kind == "tenant"
+        assert family.members == TENANT_SUITE
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            get_family("nope")
