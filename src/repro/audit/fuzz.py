@@ -16,6 +16,7 @@ and stream, which is what makes the CI smoke job meaningful.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 
@@ -278,6 +279,11 @@ def fuzz(
             cell_rng = random.Random(f"{seed}/{placement}/{trigger}")
             scenario = generate_scenario(cell_rng, placement, trigger, seed)
             stream = generate_ops(cell_rng, scenario, ops, faults=faults)
+            # Drawn *after* the stream so established fixed-seed streams
+            # stay stable. Telemetry-free cells are where the columnar
+            # path runs its vector kernels instead of falling back.
+            if cell_rng.random() < 0.5:
+                scenario = dataclasses.replace(scenario, telemetry=False)
             report.cells.append((placement, trigger))
             report.operations += len(stream)
             report.audits += len(stream) // cadence if cadence else 0

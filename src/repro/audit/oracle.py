@@ -1,10 +1,13 @@
 """Differential oracle: one op stream, several independent access paths.
 
-The molecular cache keeps three access implementations that must stay
+The molecular cache keeps four access implementations that must stay
 byte-identical — the scalar reference (``access_block``), the batched
-engine (``access_many``) and the allocation-free session
-(``access_session``) — plus a *brute-force* path: the scalar reference
-with the full invariant auditor run after **every** operation. The oracle
+engine (``access_many``), the allocation-free session
+(``access_session``) and the columnar kernel engine
+(:class:`~repro.molecular.columnar.ColumnarAccessEngine`, run with its
+heuristic fallbacks pinned off so the kernels themselves are on trial) —
+plus a *brute-force* path: the scalar reference with the full invariant
+auditor run after **every** operation. The oracle
 replays one operation stream through each path on independently built
 caches (same :class:`Scenario`, same seed) and diffs everything
 observable afterwards: the stats dictionary, the occupancy report, the
@@ -44,7 +47,7 @@ from repro.molecular.cache import MolecularCache
 from repro.molecular.config import MolecularCacheConfig, ResizePolicy
 
 #: The replay paths the oracle knows, in the order they are run.
-PATHS = ("scalar", "batched", "session", "brute")
+PATHS = ("scalar", "batched", "session", "columnar", "brute")
 
 #: Ring-buffer capacity for the recorded telemetry streams. Large enough
 #: that the fuzzer's streams never wrap (drops would still be identical
@@ -88,8 +91,13 @@ class Scenario:
     period_floor: int = 50
     min_window_refs: int = 16
     seed: int = 11
+    #: Attach the telemetry bus. Kept in the scenario so the fuzzer can
+    #: disable it for some cells: with the bus attached the columnar path
+    #: semantically falls back to the batched engine, so telemetry-free
+    #: cells are the ones that put the vector kernels on trial.
+    telemetry: bool = True
 
-    def build(self, telemetry: bool = True):
+    def build(self, telemetry: bool | None = None):
         """A fresh cache (and its ring-buffer sink, or ``None``)."""
         from repro.telemetry.bus import EventBus
         from repro.telemetry.sinks import RingBufferSink
@@ -115,6 +123,8 @@ class Scenario:
             rng=XorShift64(self.seed),
         )
         sink = None
+        if telemetry is None:
+            telemetry = self.telemetry
         if telemetry:
             sink = RingBufferSink(capacity=_EVENT_CAPACITY)
             cache.attach_telemetry(
@@ -210,18 +220,28 @@ def replay(
         raise ConfigError(f"unknown oracle path {path!r}; expected one of {PATHS}")
     cache, sink = scenario.build()
     session = cache.access_session() if path == "session" else None
-    pending: list[Op] = []  # buffered consecutive accesses (batched path)
+    engine = None
+    if path == "columnar":
+        from repro.molecular.columnar import ColumnarAccessEngine
+
+        # force_kernels pins the heuristic fallbacks off so short or
+        # miss-heavy streams still exercise the vector kernels; the
+        # semantic fallbacks (telemetry, custom latency, ...) remain.
+        engine = ColumnarAccessEngine(cache, force_kernels=True)
+    pending: list[Op] = []  # buffered consecutive accesses (batched paths)
     since_audit = 0
     error: str | None = None
 
     def flush() -> None:
         if not pending:
             return
-        cache.access_many(
-            [op[2] for op in pending],
-            [op[1] for op in pending],
-            [op[3] for op in pending],
-        )
+        blocks = [op[2] for op in pending]
+        asids = [op[1] for op in pending]
+        writes = [op[3] for op in pending]
+        if engine is not None:
+            engine.stream(blocks, asids, writes)
+        else:
+            cache.access_many(blocks, asids, writes)
         pending.clear()
 
     def audit_now() -> None:
@@ -232,14 +252,14 @@ def replay(
     try:
         for op in ops:
             if op[0] == "access":
-                if path == "batched":
+                if path in ("batched", "columnar"):
                     pending.append(op)
                 elif path == "session":
                     session.access(op[2], op[1], op[3])
                 else:  # scalar, brute
                     cache.access_block(op[2], op[1], op[3])
             else:
-                if path == "batched":
+                if path in ("batched", "columnar"):
                     flush()
                 _apply_structural(cache, op)
             if path == "brute":

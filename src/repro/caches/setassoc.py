@@ -206,21 +206,21 @@ class SetAssociativeCache:
         """Feed an iterable of block numbers through the cache.
 
         ``asids``/``writes`` are optional parallel iterables; scalars are
-        broadcast. Returns :attr:`stats` for convenience.
+        broadcast. Delegates to :meth:`access_many` (byte-identical to
+        the scalar loop) after materialising any lazy iterables. Returns
+        :attr:`stats` for convenience.
         """
         if asids is None:
             asids = 0
         if writes is None:
             writes = False
-        access_block = self.access_block
-        if isinstance(asids, int) and isinstance(writes, bool):
-            for block in blocks:
-                access_block(block, asids, writes)
-        else:
-            asid_iter = repeat(asids) if isinstance(asids, int) else iter(asids)
-            write_iter = repeat(writes) if isinstance(writes, bool) else iter(writes)
-            for block in blocks:
-                access_block(block, next(asid_iter), next(write_iter))
+        if not isinstance(blocks, (list, tuple, np.ndarray)):
+            blocks = list(blocks)
+        if not isinstance(asids, (int, list, tuple, np.ndarray)):
+            asids = list(asids)
+        if not isinstance(writes, (bool, list, tuple, np.ndarray)):
+            writes = list(writes)
+        self.access_many(blocks, asids, writes)
         return self.stats
 
     # --------------------------------------------------------- introspection

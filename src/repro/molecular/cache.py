@@ -129,6 +129,12 @@ class MolecularCache:
         #: migration, resize fires). Per-region membership changes are
         #: tracked separately by ``CacheRegion.version``.
         self._ctx_epoch = 0
+        #: Persistent per-(region, shared) flat-array mirrors for the
+        #: columnar engine, keyed by the region objects' identities.
+        #: Validity is tracked inside each mirror (region version +
+        #: content revision), so mutations made anywhere in the object
+        #: model invalidate them without touching this dict.
+        self._columnar_mirrors = {}
 
     # ----------------------------------------------------------- telemetry
 
@@ -374,9 +380,9 @@ class MolecularCache:
             from repro.prof.engine import ProfiledAccessEngine
 
             return ProfiledAccessEngine(self).stream(blocks, asids, writes)
-        from repro.molecular.engine import AccessEngine
+        from repro.molecular.columnar import ColumnarAccessEngine
 
-        return AccessEngine(self).stream(blocks, asids, writes)
+        return ColumnarAccessEngine(self).stream(blocks, asids, writes)
 
     def access_session(self):
         """An allocation-free per-access session for feedback drivers.
@@ -408,13 +414,17 @@ class MolecularCache:
         if region is None:
             raise UnknownASIDError(asid)
         stats = self.stats
+        # Touch the per-ASID counters at dispatch, like the engines do
+        # when they build an access context — keeps partial state
+        # identical across paths if the access errors out mid-way.
+        stats.counters_for(asid)
         home_tile_id = region.home_tile_id
         home_tile = self._tiles[home_tile_id]
         home_tile.port_accesses += 1
 
         # Stage 1: ASID comparators fire in every molecule of the home tile
         # (retired molecules are powered off — their comparators are gone).
-        stats.asid_comparisons += len(home_tile.molecules) - home_tile.failed_count
+        stats.asid_comparisons += home_tile.comparator_count
 
         # Stage 2: probe the matching molecules of the home tile (plus any
         # shared-bit molecules).
@@ -524,7 +534,7 @@ class MolecularCache:
             tiles += 1
             probes += region.molecules_by_tile[tile_id]
             tile = self._tiles[tile_id]
-            comparisons += len(tile.molecules) - tile.failed_count
+            comparisons += tile.comparator_count
             extra += tile.extra_port_cycles
             if found_tile is not None and tile_id == found_tile:
                 break

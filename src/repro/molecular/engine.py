@@ -173,7 +173,7 @@ class AccessEngine:
         ctx.home_tile_id = home_id
         home_tile = cache._tiles[home_id]
         ctx.home_tile = home_tile
-        ctx.home_comparisons = len(home_tile.molecules) - home_tile.failed_count
+        ctx.home_comparisons = home_tile.comparator_count
 
         shared = cache._shared_regions.get(home_id)
         local_probes = region.molecules_by_tile.get(home_id, 0)
@@ -200,7 +200,7 @@ class AccessEngine:
             tiles += 1
             probes += region.molecules_by_tile[tile_id]
             tile = cache._tiles[tile_id]
-            comparisons += len(tile.molecules) - tile.failed_count
+            comparisons += tile.comparator_count
             extra += tile.extra_port_cycles
             stop[tile_id] = (tiles, probes, comparisons, extra)
         ctx.remote_stop = stop
@@ -382,6 +382,9 @@ class AccessEngine:
                     remote_probes = 0
                     stats.asid_comparisons += home_comparisons
                 ulmo_stats.global_misses += 1
+                # Charged before the placement decision, like the scalar
+                # reference — identical partial state if placement raises.
+                stats.molecules_probed_local += local_probes
 
                 target, row_index = placement.choose(
                     region, block, lines_per_molecule, rng
@@ -397,7 +400,6 @@ class AccessEngine:
                         placement.on_evict(region, b)
                 stats.writebacks_to_memory += dirty
                 stats.lines_fetched += ctx.line_multiplier
-                stats.molecules_probed_local += local_probes
                 cycles = ctx.miss_cycles
                 if remote_tiles:
                     cycles += (
@@ -548,6 +550,9 @@ class AccessEngine:
                 remote_probes = 0
                 stats.asid_comparisons += ctx.home_comparisons
             ulmo_stats.global_misses += 1
+            # Charged before the placement decision, like the scalar
+            # reference — identical partial state if placement raises.
+            stats.molecules_probed_local += local_probes
             target, row_index = self.placement.choose(
                 region, block, self.lines_per_molecule, self.rng
             )
@@ -562,7 +567,6 @@ class AccessEngine:
                     self.placement.on_evict(region, b)
             stats.writebacks_to_memory += dirty
             stats.lines_fetched += ctx.line_multiplier
-            stats.molecules_probed_local += local_probes
             cycles = ctx.miss_cycles
             if remote_tiles:
                 cycles += (

@@ -12,6 +12,8 @@ plain direct-mapped tag/data array.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.common.errors import ConfigError, SimulationError
 
 #: ASID value marking an unconfigured (free) molecule.
@@ -32,6 +34,7 @@ class Molecule:
         "tile_id",
         "cluster_id",
         "n_lines",
+        "index_mask",
         "lines",
         "dirty",
         "asid",
@@ -50,8 +53,16 @@ class Molecule:
         self.tile_id = tile_id
         self.cluster_id = cluster_id
         self.n_lines = n_lines
+        #: ``n_lines`` is a power of two, so the direct-mapped index is a
+        #: mask rather than a modulo — this is the hottest arithmetic in
+        #: the scalar access path.
+        self.index_mask = n_lines - 1
         self.lines: list[int | None] = [None] * n_lines
-        self.dirty: list[bool] = [False] * n_lines
+        #: Dirty bits as a flat bool array so the columnar engine can
+        #: apply a whole chunk's write-hit marks in one fancy-index
+        #: scatter. Reads that escape this class go through ``bool()``
+        #: so no numpy scalar ever leaks into stats or reports.
+        self.dirty: np.ndarray = np.zeros(n_lines, dtype=bool)
         self.asid: int = FREE
         self.shared: bool = False
         #: Misses that caused a replacement in this molecule — the
@@ -91,26 +102,26 @@ class Molecule:
     # ----------------------------------------------------------- tag array
 
     def index_of(self, block: int) -> int:
-        return block % self.n_lines
+        return block & self.index_mask
 
     def probe(self, block: int) -> bool:
         """Direct-mapped lookup: tag match at the block's index."""
-        return self.lines[block % self.n_lines] == block
+        return self.lines[block & self.index_mask] == block
 
     def fill(self, block: int, dirty: bool = False) -> tuple[int, bool] | None:
         """Install ``block``; returns the evicted ``(block, dirty)`` or None."""
-        index = block % self.n_lines
+        index = block & self.index_mask
         previous = self.lines[index]
         evicted = None
         if previous is not None and previous != block:
-            evicted = (previous, self.dirty[index])
+            evicted = (previous, bool(self.dirty[index]))
         self.lines[index] = block
         self.dirty[index] = dirty
         self.fills += 1
         return evicted
 
     def mark_dirty(self, block: int) -> None:
-        index = block % self.n_lines
+        index = block & self.index_mask
         if self.lines[index] != block:
             raise SimulationError(
                 f"mark_dirty for block {block} not resident in molecule "
@@ -120,10 +131,10 @@ class Molecule:
 
     def invalidate(self, block: int) -> bool:
         """Drop one block if resident; returns its dirty bit (False if absent)."""
-        index = block % self.n_lines
+        index = block & self.index_mask
         if self.lines[index] != block:
             return False
-        was_dirty = self.dirty[index]
+        was_dirty = bool(self.dirty[index])
         self.lines[index] = None
         self.dirty[index] = False
         return was_dirty
@@ -131,12 +142,12 @@ class Molecule:
     def flush(self) -> list[tuple[int, bool]]:
         """Drop every resident line; returns ``(block, dirty)`` pairs."""
         flushed = [
-            (block, self.dirty[index])
+            (block, bool(self.dirty[index]))
             for index, block in enumerate(self.lines)
             if block is not None
         ]
         self.lines = [None] * self.n_lines
-        self.dirty = [False] * self.n_lines
+        self.dirty = np.zeros(self.n_lines, dtype=bool)
         return flushed
 
     def resident_blocks(self) -> list[int]:

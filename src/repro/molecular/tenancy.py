@@ -18,6 +18,8 @@ resize engine already maintains.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.common.errors import ConfigError
 from repro.molecular.cache import MolecularCache
 
@@ -52,12 +54,27 @@ class TenantRegionBinding:
         return self.cache.access_block(block, asid=tenant, write=write)
 
     def run(self, trace, line_bytes: int = 64) -> dict[int, dict]:
-        """Drive a trace through, returning :meth:`tenant_stats`."""
-        access = self.access
-        for block, tenant, write in zip(
-            trace.block_list(line_bytes), trace.asid_list(), trace.write_list()
-        ):
-            access(block, tenant, write)
+        """Drive a trace through, returning :meth:`tenant_stats`.
+
+        The trace is split into maximal same-tenant runs and each run is
+        streamed through ``access_many`` (the columnar kernels), which is
+        byte-identical to the scalar per-reference loop: a tenant's first
+        reference always starts a run, so :meth:`ensure` still fires
+        before it, exactly where the scalar loop would create the region.
+        """
+        blocks = trace.block_column(line_bytes)
+        tenants = trace.asids
+        writes = trace.writes
+        n = len(blocks)
+        if n == 0:
+            return self.tenant_stats()
+        bounds = np.flatnonzero(tenants[1:] != tenants[:-1]) + 1
+        starts = [0, *bounds.tolist(), n]
+        access_many = self.cache.access_many
+        for lo, hi in zip(starts, starts[1:]):
+            tenant = int(tenants[lo])
+            self.ensure(tenant)
+            access_many(blocks[lo:hi], tenant, writes[lo:hi])
         return self.tenant_stats()
 
     def tenant_stats(self) -> dict[int, dict]:

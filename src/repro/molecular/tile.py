@@ -113,6 +113,16 @@ class Tile:
         """Molecules still in service (configured or free, not failed)."""
         return len(self.molecules) - self.failed_count
 
+    @property
+    def comparator_count(self) -> int:
+        """ASID comparators that fire for a request probing this tile.
+
+        Failed molecules power their comparators off, so this is the
+        per-tile comparison cost both the scalar and columnar access
+        paths charge per probe of the tile.
+        """
+        return len(self.molecules) - self.failed_count
+
     def occupancy_by_asid(self) -> dict[int, int]:
         """Molecule counts per owning ASID (diagnostics)."""
         counts: dict[int, int] = {}

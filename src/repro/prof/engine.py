@@ -36,7 +36,10 @@ from __future__ import annotations
 
 from time import perf_counter
 
+import numpy as np
+
 from repro.common.clock import tick
+from repro.common.errors import ConfigError
 from repro.common.types import AccessResult
 from repro.molecular.engine import AccessEngine, _as_scalar_sequence
 from repro.prof.profiler import HotPathProfiler
@@ -66,7 +69,13 @@ class ProfiledAccessEngine(AccessEngine):
             n = super().stream(blocks, asids, writes)
             prof.add_stream(n, tick() - t_start)
             return n
-        if not isinstance(blocks, (list, tuple)):
+        if isinstance(blocks, np.ndarray):
+            if blocks.ndim != 1:
+                raise ConfigError("blocks must be one-dimensional")
+            # tolist(), not list(): plain ints, never numpy scalars, so
+            # presence keys stay identical to every other path.
+            blocks = blocks.tolist()
+        elif not isinstance(blocks, (list, tuple)):
             blocks = list(blocks)
         n = len(blocks)
         asid_list, asid_scalar = _as_scalar_sequence(asids, n, "asids")

@@ -66,10 +66,18 @@ def run_trace(
             )
         injector = FaultInjector(cache, faults)
     attach_telemetry(cache, telemetry)
-    blocks = trace.block_list(line_bytes)
-    asids = trace.asid_list()
-    writes = trace.write_list()
     access_many = getattr(cache, "access_many", None)
+    if access_many is not None:
+        # Columns stay ndarrays on the batched path: the columnar kernels
+        # consume them without per-element conversion, and slicing below
+        # only takes views.
+        blocks = trace.block_column(line_bytes)
+        asids = trace.asids
+        writes = trace.writes
+    else:
+        blocks = trace.block_list(line_bytes)
+        asids = trace.asid_list()
+        writes = trace.write_list()
     if access_many is not None:
         # Batched fast path: stream the warm-up prefix, reset, stream the
         # rest. Stats/telemetry are byte-identical to the scalar loop

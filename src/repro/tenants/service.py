@@ -310,10 +310,21 @@ class CacheService:
     # ----------------------------------------------------------------- runs
 
     def run(self, trace, line_bytes: int = 64) -> TenancyRunResult:
-        """Drive a full :class:`~repro.trace.container.Trace` through."""
+        """Drive a full :class:`~repro.trace.container.Trace` through.
+
+        The plain-int lists are per-run temporaries converted from the
+        trace's ndarray columns (the trace no longer retains duplicate
+        list copies); the per-access loop itself stays scalar because
+        exact per-tenant LRU with mid-stream epoch rollovers is ordered
+        state — the architectural tenant path
+        (:class:`repro.molecular.tenancy.TenantRegionBinding`) is the one
+        routed through the columnar kernels.
+        """
         access = self.access
         for block, tenant, write in zip(
-            trace.block_list(line_bytes), trace.asid_list(), trace.write_list()
+            trace.block_column(line_bytes).tolist(),
+            trace.asids.tolist(),
+            trace.writes.tolist(),
         ):
             access(tenant, block, write)
         if self._refs_in_epoch > 0:

@@ -80,44 +80,46 @@ class Trace:
         )
 
     def blocks(self, line_bytes: int = 64) -> np.ndarray:
-        """Block numbers at the given line size (vectorised)."""
+        """Block numbers at the given line size (vectorised, uncached)."""
         if line_bytes <= 0 or line_bytes & (line_bytes - 1):
             raise ConfigError(f"line size must be a power of two, got {line_bytes}")
         return self.addresses >> int(line_bytes).bit_length() - 1
 
-    def block_list(self, line_bytes: int = 64) -> list[int]:
-        """Block numbers as a plain-int list, cached per line size.
+    def block_column(self, line_bytes: int = 64) -> np.ndarray:
+        """Block-number column, lazily materialised and cached per line size.
 
         Drivers stream the same trace through many cache configurations;
-        the ``.tolist()`` conversion (plain ints are much faster than
-        numpy scalars in the simulators' Python loops) is paid once per
-        line size instead of once per run. The cache assumes the column
-        arrays are not mutated in place — derived views (``with_asid``,
-        slices, ``offset``) return fresh ``Trace`` objects and so get
-        fresh caches.
+        the shift is paid once per line size and the column is then fed
+        straight to the vector kernels (``access_many``) without any
+        per-element conversion. The cache assumes the column arrays are
+        not mutated in place — derived views (``with_asid``, slices,
+        ``offset``) return fresh ``Trace`` objects and so get fresh
+        caches.
         """
         key = ("blocks", line_bytes)
         cached = self._derived.get(key)
         if cached is None:
-            cached = self.blocks(line_bytes).tolist()
+            cached = self.blocks(line_bytes)
             self._derived[key] = cached
         return cached
 
+    def block_list(self, line_bytes: int = 64) -> list[int]:
+        """Block numbers as a plain-int list (converted per call).
+
+        Only the ndarray column (:meth:`block_column`) is cached; scalar
+        consumers that want plain ints for a Python loop pay one
+        ``.tolist()`` per run instead of keeping a duplicate list copy
+        alive for the lifetime of the trace.
+        """
+        return self.block_column(line_bytes).tolist()
+
     def asid_list(self) -> list[int]:
-        """ASID column as a plain-int list (cached; see :meth:`block_list`)."""
-        cached = self._derived.get("asids")
-        if cached is None:
-            cached = self.asids.tolist()
-            self._derived["asids"] = cached
-        return cached
+        """ASID column as a plain-int list (converted per call)."""
+        return self.asids.tolist()
 
     def write_list(self) -> list[bool]:
-        """Write-flag column as a plain-bool list (cached; see :meth:`block_list`)."""
-        cached = self._derived.get("writes")
-        if cached is None:
-            cached = self.writes.tolist()
-            self._derived["writes"] = cached
-        return cached
+        """Write-flag column as a plain-bool list (converted per call)."""
+        return self.writes.tolist()
 
     def unique_asids(self) -> list[int]:
         return sorted(int(a) for a in np.unique(self.asids))
