@@ -1,8 +1,9 @@
 """Seeded randomized fuzz harness for the cache simulators.
 
 Generates operation streams — accesses across several applications ×
-placement policies × line multipliers × resize triggers × shared regions
-× migrations × forced resize rounds — and runs each stream through the
+placement policies × line multipliers × resize triggers × resize
+mechanisms × shared regions × migrations × forced resize rounds — and
+runs each stream through the
 differential oracle (:mod:`repro.audit.oracle`) with the full-state
 auditor firing at epoch boundaries. A failure (an invariant violation or
 a divergence between access paths) is shrunk to a minimal reproducing
@@ -35,6 +36,11 @@ from repro.common.errors import ConfigError
 ALL_PLACEMENTS = ("random", "randy", "lru_direct")
 ALL_TRIGGERS = ("constant", "global_adaptive", "per_app_adaptive")
 
+#: Resize mechanisms the harness can sweep. The default sweep runs only
+#: ``flush`` so the established fixed-seed CI streams stay byte-stable;
+#: the chash arm is opted into per run (``repro fuzz --mechanism``).
+ALL_MECHANISMS = ("flush", "chash")
+
 #: Line multipliers the generator draws from (1 = base line size).
 LINE_MULTIPLIERS = (1, 2, 4)
 
@@ -60,7 +66,8 @@ class FuzzFailure:
     def summary(self) -> str:
         head = "; ".join(self.divergences[:3])
         return (
-            f"{self.scenario.placement}/{self.scenario.trigger} "
+            f"{self.scenario.placement}/{self.scenario.trigger}"
+            f"/{self.scenario.mechanism} "
             f"seed={self.scenario.seed}: {len(self.divergences)} "
             f"divergence(s) reproduced by {len(self.ops)} op(s) "
             f"(shrunk from {self.original_ops}): {head}"
@@ -72,7 +79,7 @@ class FuzzReport:
     """Outcome of one fuzz sweep."""
 
     seed: int
-    cells: list[tuple[str, str]] = field(default_factory=list)
+    cells: list[tuple[str, str, str]] = field(default_factory=list)
     operations: int = 0
     audits: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
@@ -244,20 +251,28 @@ def fuzz(
     shrink: bool = True,
     log=None,
     faults: bool = False,
+    mechanisms=None,
 ) -> FuzzReport:
-    """Run the differential fuzz sweep over placements × triggers.
+    """Run the differential fuzz sweep over placements × triggers ×
+    resize mechanisms.
 
     Each cell generates its own scenario and stream (deterministic in
     ``seed``), replays it through every oracle path with audits every
     ``audit_every`` operations (default :data:`AUDIT_EPOCH`; the brute
     path always audits per-op), and shrinks any failure. ``faults``
     mixes random fault schedules (molecule retirement, transient line
-    drops, tile degradation) into every cell's stream.
+    drops, tile degradation) into every cell's stream. ``mechanisms``
+    defaults to ``("flush",)``: flush cells derive their streams from
+    the historical ``seed/placement/trigger`` RNG key (byte-stable with
+    pre-mechanism releases), while a chash cell salts the key with the
+    mechanism name so the two backends face *different* streams too —
+    run both to replay one shared stream per backend pair.
     """
     if ops < 1:
         raise ConfigError(f"need at least one operation, got {ops}")
     placements = tuple(placements or ALL_PLACEMENTS)
     triggers = tuple(triggers or ALL_TRIGGERS)
+    mechanisms = tuple(mechanisms or ("flush",))
     for placement in placements:
         if placement not in ALL_PLACEMENTS:
             raise ConfigError(
@@ -269,6 +284,12 @@ def fuzz(
             raise ConfigError(
                 f"unknown trigger {trigger!r}; expected one of {ALL_TRIGGERS}"
             )
+    for mechanism in mechanisms:
+        if mechanism not in ALL_MECHANISMS:
+            raise ConfigError(
+                f"unknown mechanism {mechanism!r}; expected one of "
+                f"{ALL_MECHANISMS}"
+            )
     cadence = AUDIT_EPOCH if audit_every is None else audit_every
     if cadence < 0:
         raise ConfigError(f"audit cadence cannot be negative, got {cadence}")
@@ -276,46 +297,55 @@ def fuzz(
     report = FuzzReport(seed=seed)
     for placement in placements:
         for trigger in triggers:
-            cell_rng = random.Random(f"{seed}/{placement}/{trigger}")
-            scenario = generate_scenario(cell_rng, placement, trigger, seed)
-            stream = generate_ops(cell_rng, scenario, ops, faults=faults)
-            # Drawn *after* the stream so established fixed-seed streams
-            # stay stable. Telemetry-free cells are where the columnar
-            # path runs its vector kernels instead of falling back.
-            if cell_rng.random() < 0.5:
-                scenario = dataclasses.replace(scenario, telemetry=False)
-            report.cells.append((placement, trigger))
-            report.operations += len(stream)
-            report.audits += len(stream) // cadence if cadence else 0
-            if log is not None:
-                log(
-                    f"fuzz {placement}/{trigger}: {len(stream)} ops, "
-                    f"audit every {cadence or 'never'}"
-                )
-            result: OracleReport = run_oracle(
-                scenario, stream, audit_every=cadence, paths=paths
-            )
-            if result.ok:
-                continue
-            minimal = stream
-            if shrink:
+            for mechanism in mechanisms:
+                rng_key = f"{seed}/{placement}/{trigger}"
+                if mechanism != "flush":
+                    rng_key += f"/{mechanism}"
+                cell_rng = random.Random(rng_key)
+                scenario = generate_scenario(cell_rng, placement, trigger, seed)
+                stream = generate_ops(cell_rng, scenario, ops, faults=faults)
+                # Drawn *after* the stream so established fixed-seed streams
+                # stay stable. Telemetry-free cells are where the columnar
+                # path runs its vector kernels instead of falling back.
+                if cell_rng.random() < 0.5:
+                    scenario = dataclasses.replace(scenario, telemetry=False)
+                if mechanism != "flush":
+                    scenario = dataclasses.replace(
+                        scenario, mechanism=mechanism
+                    )
+                report.cells.append((placement, trigger, mechanism))
+                report.operations += len(stream)
+                report.audits += len(stream) // cadence if cadence else 0
                 if log is not None:
                     log(
-                        f"fuzz {placement}/{trigger}: FAILED "
-                        f"({len(result.divergences)} divergence(s)); "
-                        f"shrinking..."
+                        f"fuzz {placement}/{trigger}/{mechanism}: "
+                        f"{len(stream)} ops, "
+                        f"audit every {cadence or 'never'}"
                     )
-                minimal = shrink_ops(scenario, list(stream), cadence, paths)
-                result = run_oracle(
-                    scenario, minimal, audit_every=cadence, paths=paths
+                result: OracleReport = run_oracle(
+                    scenario, stream, audit_every=cadence, paths=paths
                 )
-            report.failures.append(
-                FuzzFailure(
-                    scenario=scenario,
-                    ops=tuple(minimal),
-                    divergences=tuple(result.divergences)
-                    or ("failure vanished while shrinking (flaky repro)",),
-                    original_ops=len(stream),
+                if result.ok:
+                    continue
+                minimal = stream
+                if shrink:
+                    if log is not None:
+                        log(
+                            f"fuzz {placement}/{trigger}/{mechanism}: FAILED "
+                            f"({len(result.divergences)} divergence(s)); "
+                            f"shrinking..."
+                        )
+                    minimal = shrink_ops(scenario, list(stream), cadence, paths)
+                    result = run_oracle(
+                        scenario, minimal, audit_every=cadence, paths=paths
+                    )
+                report.failures.append(
+                    FuzzFailure(
+                        scenario=scenario,
+                        ops=tuple(minimal),
+                        divergences=tuple(result.divergences)
+                        or ("failure vanished while shrinking (flaky repro)",),
+                        original_ops=len(stream),
+                    )
                 )
-            )
     return report

@@ -96,6 +96,9 @@ class Scenario:
     #: semantically falls back to the batched engine, so telemetry-free
     #: cells are the ones that put the vector kernels on trial.
     telemetry: bool = True
+    #: Resize mechanism (``flush`` / ``chash``) — the fuzzer's mechanism
+    #: axis replays one op stream through both backends.
+    mechanism: str = "flush"
 
     def build(self, telemetry: bool | None = None):
         """A fresh cache (and its ring-buffer sink, or ``None``)."""
@@ -115,6 +118,7 @@ class Scenario:
             trigger=self.trigger,
             period_floor=self.period_floor,
             min_window_refs=self.min_window_refs,
+            mechanism=self.mechanism,
         )
         cache = MolecularCache(
             config,

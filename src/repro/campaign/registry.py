@@ -322,6 +322,47 @@ def _assemble_tenancy(
     return assemble_cells(results)
 
 
+# -------------------------------------------------------- resize-mechanism
+
+def _decompose_resize_mechanism(
+    name: str, refs: int, seed: int, options: dict[str, Any]
+) -> list[JobSpec]:
+    from repro.sim.experiments.resize_mechanism import resolve_grid
+
+    resolved = scaled(refs)
+    return [
+        JobSpec.make(
+            name,
+            "cell",
+            {"mechanism": mechanism, "trigger": trigger, "refs": resolved},
+            seed=seed,
+        )
+        for trigger, mechanism in resolve_grid(
+            options.get("resize_mechanism")
+        )
+    ]
+
+
+def _execute_resize_mechanism(spec: JobSpec) -> Any:
+    from repro.sim.experiments.resize_mechanism import run_resize_mechanism_cell
+
+    params = spec.params_dict
+    return run_resize_mechanism_cell(
+        params["mechanism"],
+        params["trigger"],
+        params["refs"],
+        seed=spec.seed,
+    )
+
+
+def _assemble_resize_mechanism(
+    specs: list[JobSpec], results: list[Any], options: dict[str, Any]
+):
+    from repro.sim.experiments.resize_mechanism import assemble_cells
+
+    return assemble_cells(results)
+
+
 # ---------------------------------------------------------------- registry
 
 def _serial(module: str, func: str) -> Callable[..., Any]:
@@ -405,6 +446,19 @@ _register(ExperimentTarget(
     decompose=_decompose_tenancy,
     execute=_execute_tenancy,
     assemble=_assemble_tenancy,
+))
+_register(ExperimentTarget(
+    name="resize-mechanism",
+    default_refs=60_000,
+    description="resize backends under churn: flush vs consistent "
+                "hashing, data moved and miss-rate recovery per trigger",
+    serial=_serial(
+        "repro.sim.experiments.resize_mechanism", "run_resize_mechanism"
+    ),
+    options=("resize_mechanism",),
+    decompose=_decompose_resize_mechanism,
+    execute=_execute_resize_mechanism,
+    assemble=_assemble_resize_mechanism,
 ))
 
 

@@ -15,18 +15,21 @@ Commands
     telemetry for ``repro inspect``.
 ``profile MODEL``
     Characterise a model's trace (footprint, locality, LRU miss curve).
-``experiment {table1,table2,table4,table5,figure5,figure6}``
-    Run one of the paper's experiments and print its table/series.
-``sweep {table1,table2,table4,table5,figure5,figure6}``
+``experiment {table1,table2,table4,table5,figure5,figure6,...}``
+    Run one of the paper's experiments (or a repo experiment such as
+    ``resize-mechanism``, the flush-vs-consistent-hashing resize
+    comparison) and print its table/series.
+``sweep {table1,table2,table4,table5,figure5,figure6,...}``
     Run an experiment as a campaign: independent jobs on a worker pool
     (``--jobs``), cached in a content-hashed result store (``--out``),
     resumable after interruption (``--resume``). Output is
     byte-identical to ``experiment``.
 ``simulate``
     Run a workload mix on a molecular or traditional cache; ``--record``
-    writes a telemetry JSONL stream alongside the run, and ``--faults``
+    writes a telemetry JSONL stream alongside the run, ``--faults``
     schedules hardware faults (molecule retirement, transient line
-    drops, degraded tiles) against a molecular run.
+    drops, degraded tiles) against a molecular run, and
+    ``--resize-mechanism {flush,chash}`` picks the resize backend.
 ``inspect``
     Replay a recorded telemetry stream: resize timeline, per-region
     miss-rate/occupancy/HPM epochs, and a convergence summary.
@@ -45,7 +48,8 @@ Commands
     Differential fuzzing: randomized op streams through every access
     path with the full-state invariant auditor at epoch boundaries;
     failures are shrunk to a minimal repro. ``--faults`` mixes random
-    fault schedules into every stream.
+    fault schedules into every stream; ``--mechanism {all,flush,chash}``
+    adds the resize-mechanism axis to the fuzz grid.
 ``chaos``
     Chaos-test the campaign runner: run an experiment once cleanly and
     once under a seeded sabotage policy (worker crashes, hangs,
@@ -214,7 +218,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             size, clusters=1, tiles_per_cluster=args.tiles, strict=False
         )
         cache = MolecularCache(
-            config, resize_policy=ResizePolicy(), placement=args.placement
+            config,
+            resize_policy=ResizePolicy(mechanism=args.resize_mechanism),
+            placement=args.placement,
         )
         for asid in range(len(names)):
             cache.assign_application(
@@ -387,10 +393,16 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.audit.fuzz import ALL_PLACEMENTS, ALL_TRIGGERS, fuzz
+    from repro.audit.fuzz import (
+        ALL_MECHANISMS,
+        ALL_PLACEMENTS,
+        ALL_TRIGGERS,
+        fuzz,
+    )
 
     placements = ALL_PLACEMENTS if args.placement == "all" else (args.placement,)
     triggers = ALL_TRIGGERS if args.trigger == "all" else (args.trigger,)
+    mechanisms = ALL_MECHANISMS if args.mechanism == "all" else (args.mechanism,)
     report = fuzz(
         ops=args.ops,
         seed=args.seed,
@@ -400,6 +412,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         log=lambda message: print(message, file=sys.stderr),
         faults=args.faults,
+        mechanisms=mechanisms,
     )
     print(report.summary())
     if report.ok:
@@ -662,6 +675,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="figure5 graph")
     experiment.add_argument("--chart", action="store_true",
                             help="render figure5 as an ASCII chart")
+    experiment.add_argument("--resize-mechanism",
+                            choices=["flush", "chash"], default=None,
+                            help="restrict the resize-mechanism experiment "
+                                 "to one backend (default: compare both)")
 
     sweep = sub.add_parser(
         "sweep",
@@ -697,6 +714,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record job/chunk/queue/store spans to a "
                             "Chrome-tracing JSON file (view in Perfetto or "
                             "chrome://tracing)")
+    sweep.add_argument("--resize-mechanism",
+                       choices=["flush", "chash"], default=None,
+                       help="restrict the resize-mechanism experiment to "
+                            "one backend (default: compare both)")
 
     simulate = sub.add_parser("simulate", help="run a workload mix on a cache")
     simulate.add_argument("--cache", choices=["molecular", "setassoc"],
@@ -706,6 +727,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--tiles", type=int, default=4)
     simulate.add_argument("--placement", default="randy",
                           choices=["randy", "random", "lru_direct"])
+    simulate.add_argument("--resize-mechanism",
+                          choices=["flush", "chash"], default="flush",
+                          help="how resizes are applied: flush withdrawn "
+                               "molecules (the paper) or consistent-hash "
+                               "remap (molecular cache only)")
     simulate.add_argument("--workloads", default="art,ammp,parser,mcf")
     simulate.add_argument("--goal", type=float, default=0.10)
     simulate.add_argument("--refs", type=int, default=200_000)
@@ -767,6 +793,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="mix random fault schedules (retirement, "
                            "transient drops, degraded tiles) into every "
                            "cell's stream")
+    fuzz.add_argument("--mechanism", default="flush",
+                      choices=["all", "flush", "chash"],
+                      help="resize mechanism axis (default flush keeps the "
+                           "established fixed-seed streams byte-stable)")
 
     chaos = sub.add_parser(
         "chaos",

@@ -70,6 +70,15 @@ class ResizePolicy:
         ``"linear"`` — Algorithm 1's linear size/miss model (the paper's
         scheme); ``"stack"`` — the future-work reuse-distance advisor
         with cold-miss compensation (:mod:`repro.molecular.advisor`).
+    mechanism:
+        How capacity changes are *applied* once Algorithm 1 has decided
+        (DESIGN.md section 13). ``"flush"`` — the paper's behaviour:
+        withdrawn molecules are flushed whole (dirty lines written back,
+        clean lines dropped). ``"chash"`` — consistent-hashing remap
+        (:mod:`repro.molecular.chash`): resident lines of a withdrawn
+        molecule move onto the survivors' hash-ring slices, and grown
+        molecules pull in only the resident blocks whose ring slice
+        moved, so a resize transfers data instead of discarding it.
     """
 
     period: int = 25_000
@@ -84,6 +93,7 @@ class ResizePolicy:
     min_window_refs: int = 64
     withdraw_margin: float = 0.8
     advisor: str = "linear"
+    mechanism: str = "flush"
 
     def __post_init__(self) -> None:
         if self.trigger not in ("constant", "global_adaptive", "per_app_adaptive"):
@@ -109,6 +119,11 @@ class ResizePolicy:
             raise ConfigError(
                 f"unknown resize advisor {self.advisor!r}; expected "
                 "'linear' or 'stack'"
+            )
+        if self.mechanism not in ("flush", "chash"):
+            raise ConfigError(
+                f"unknown resize mechanism {self.mechanism!r}; expected "
+                "'flush' or 'chash'"
             )
 
 

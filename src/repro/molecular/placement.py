@@ -69,6 +69,13 @@ class PlacementPolicy(ABC):
         eviction or withdrawal flush) — LRU-Direct prunes recency state
         here so its timestamp maps stay bounded by residency."""
 
+    def on_remap(self, region: CacheRegion, block: int) -> None:
+        """Hook called when ``block`` migrates between molecules during a
+        consistent-hashing resize (:mod:`repro.molecular.chash`). The
+        block stays resident, so recency state survives; policies that
+        key state on the *molecule* rather than the block would resync
+        here."""
+
     def reset_counters(self, region: CacheRegion) -> None:
         """Zero the miss counters after a resize decision."""
         for molecule in region.molecules():

@@ -275,6 +275,64 @@ class CacheRegion:
         self.content_version += 1
         return flushed
 
+    def move_block(self, block: int, target: Molecule) -> bool:
+        """Migrate a resident ``block`` into ``target``'s direct-mapped slot.
+
+        The chash resize mechanism's grow-side primitive: the line keeps
+        its dirty bit and stays resident, so the move costs no memory
+        traffic. Refuses (returns ``False``) when the block is absent,
+        already home, or the target slot holds a different block — a
+        remap never evicts resident data to make room.
+        """
+        source = self.presence.get(block)
+        if source is None or source is target:
+            return False
+        index = target.index_of(block)
+        occupant = target.lines[index]
+        if occupant is not None and occupant != block:
+            return False
+        was_dirty = source.invalidate(block)
+        target.fill(block, dirty=was_dirty)
+        self.presence[block] = target
+        self.content_version += 1
+        return True
+
+    def adopt_block(self, block: int, target: Molecule, dirty: bool) -> bool:
+        """Re-install a line just detached from a withdrawn molecule.
+
+        The chash mechanism's shrink-side primitive: ``block`` is no
+        longer in the presence map (``detach_molecule`` flushed it) and
+        moves into ``target`` only if the slot is empty — the caller
+        decides whether to free a slot first (:meth:`drop_clean_line`)
+        or spill to memory. Returns ``True`` when adopted.
+        """
+        if block in self.presence:
+            return False
+        index = target.index_of(block)
+        if target.lines[index] is not None:
+            return False
+        target.fill(block, dirty=dirty)
+        self.presence[block] = target
+        self.content_version += 1
+        return True
+
+    def drop_clean_line(self, target: Molecule, index: int) -> int | None:
+        """Invalidate ``target``'s line ``index`` if it is resident and
+        clean, freeing the slot without a writeback — priced exactly
+        like an ordinary replacement eviction of a clean line. Returns
+        the dropped block (the caller owes it a placement ``on_evict``)
+        or ``None`` when the slot is empty, dirty, or not this region's.
+        """
+        occupant = target.lines[index]
+        if occupant is None or target.dirty[index]:
+            return None
+        if self.presence.get(occupant) is not target:
+            return None
+        target.invalidate(occupant)
+        del self.presence[occupant]
+        self.content_version += 1
+        return occupant
+
     def invalidate_search_order(self) -> None:
         """Drop the cached Ulmo search order and bump :attr:`version`.
 

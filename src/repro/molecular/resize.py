@@ -27,6 +27,15 @@ counters for Randy — exactly the paper's pairing).
 The paper schedules this computation on a processor via an OS daemon
 (~1500 cycles per application); we run it synchronously and account the
 cycles in :class:`~repro.molecular.stats.MolecularStats`.
+
+*Deciding* and *applying* a capacity change are separate concerns: the
+:class:`Resizer` owns the former (Algorithm 1, triggers, periods, the
+resize log), while a :class:`ResizeMechanism` owns the latter — how
+granted molecules are attached and withdrawn molecules emptied. The
+default :class:`FlushMechanism` is the paper's behaviour (withdrawal
+flushes the molecule whole); :mod:`repro.molecular.chash` plugs in a
+consistent-hashing backend that migrates resident lines instead
+(DESIGN.md section 13).
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from __future__ import annotations
 import math
 
 from repro.common.clock import tick
+from repro.common.errors import ConfigError
 from repro.molecular.config import ResizePolicy
 from repro.molecular.region import CacheRegion
 from repro.telemetry.events import (
@@ -90,6 +100,223 @@ def algorithm1_step(
     return ("hold", 0, max_allocation)
 
 
+class ResizeMechanism:
+    """How the resize engine applies a capacity change to a region.
+
+    The base class owns the mechanism-independent skeleton — allocating
+    from Ulmo, attaching via the placement policy, the grant/denied log
+    entries and their telemetry — and exposes three hooks:
+
+    * :meth:`_choose_victim` — pick the molecule one withdrawal step
+      vacates. The base implementation defers to the placement policy;
+      the chash backend picks the cheapest slice to displace.
+    * :meth:`_reclaim` — empty one withdrawn molecule and return
+      ``(writebacks, moved)``. The base implementation is the paper's
+      flush (every resident line dropped, dirty lines written back).
+    * :meth:`_after_growth` — run after molecules were granted (growth
+      or repair); the chash backend migrates remapped blocks here.
+    * :meth:`_after_withdraw` — run after a withdrawal that removed at
+      least one molecule; the chash backend emits its remap telemetry.
+
+    Log entries, stats updates and telemetry emissions happen in the
+    same order as the pre-interface resizer, so the flush backend stays
+    byte-identical to it.
+    """
+
+    name = "flush"
+
+    def __init__(self, resizer: "Resizer") -> None:
+        self.resizer = resizer
+        self.cache = resizer.cache
+        self.policy = resizer.policy
+
+    # ------------------------------------------------------------- growth
+
+    def grow(self, region: CacheRegion, amount: int, total_accesses: int) -> None:
+        """Grow ``region`` by up to ``amount`` molecules (Algorithm 1)."""
+        if amount <= 0:
+            return
+        cache = self.cache
+        cluster = cache.cluster_of_tile(region.home_tile_id)
+        granted = cluster.ulmo.allocate(region.asid, amount, region.home_tile_id)
+        for molecule in granted:
+            row = cache.placement.add_row_index(region)
+            region.add_molecule(molecule, row)
+        if granted:
+            region.last_allocation = len(granted)
+            cache.stats.molecules_granted += len(granted)
+            self.resizer.log.append(
+                (total_accesses, region.asid, "grow", len(granted))
+            )
+            bus = getattr(cache, "telemetry", None)
+            if bus is not None:
+                bus.emit(
+                    MoleculeGranted(
+                        accesses=total_accesses,
+                        asid=region.asid,
+                        count=len(granted),
+                        tiles=sorted({m.tile_id for m in granted}),
+                        molecules=region.molecule_count,
+                    )
+                )
+            self._after_growth(region, granted, total_accesses, "grow")
+        else:
+            self.resizer.log.append(
+                (total_accesses, region.asid, "grow-denied", amount)
+            )
+
+    def repair(self, region: CacheRegion, total_accesses: int) -> None:
+        """Replace molecules lost to hard faults since the last epoch.
+
+        Runs before Algorithm 1's decision so the decision sees a region
+        restored (as far as the free pool allows) to its pre-fault size.
+        Repair grants do not touch ``last_allocation`` — they are capacity
+        restoration, not Algorithm 1 growth, so the panic branch's clamp
+        must not learn from them. Partial grants leave the remainder
+        pending for the next epoch.
+        """
+        wanted = region.pending_repair
+        if wanted <= 0:
+            return
+        cache = self.cache
+        cluster = cache.cluster_of_tile(region.home_tile_id)
+        granted = cluster.ulmo.allocate(region.asid, wanted, region.home_tile_id)
+        for molecule in granted:
+            row = cache.placement.add_row_index(region)
+            region.add_molecule(molecule, row)
+        if granted:
+            region.pending_repair -= len(granted)
+            cache.stats.molecules_repaired += len(granted)
+            self.resizer.log.append(
+                (total_accesses, region.asid, "repair", len(granted))
+            )
+            bus = getattr(cache, "telemetry", None)
+            if bus is not None:
+                bus.emit(
+                    RegionRepaired(
+                        accesses=total_accesses,
+                        asid=region.asid,
+                        requested=wanted,
+                        granted=len(granted),
+                        tiles=sorted({m.tile_id for m in granted}),
+                        molecules=region.molecule_count,
+                    )
+                )
+            self._after_growth(region, granted, total_accesses, "repair")
+        else:
+            self.resizer.log.append(
+                (total_accesses, region.asid, "repair-denied", wanted)
+            )
+
+    # --------------------------------------------------------- withdrawal
+
+    def withdraw(self, region: CacheRegion, amount: int, total_accesses: int) -> None:
+        """Withdraw up to ``amount`` molecules, respecting the floor."""
+        withdrawn = 0
+        dirty_flushed = 0
+        moved_total = 0
+        for _ in range(amount):
+            if region.molecule_count <= self.policy.min_molecules:
+                break
+            molecule = self._choose_victim(region)
+            writebacks, moved = self._reclaim(region, molecule)
+            dirty_flushed += writebacks
+            moved_total += moved
+            withdrawn += 1
+        if withdrawn:
+            self.cache.stats.molecules_withdrawn += withdrawn
+            self.resizer.log.append(
+                (total_accesses, region.asid, "withdraw", withdrawn)
+            )
+            bus = getattr(self.cache, "telemetry", None)
+            if bus is not None:
+                bus.emit(
+                    MoleculeWithdrawn(
+                        accesses=total_accesses,
+                        asid=region.asid,
+                        count=withdrawn,
+                        writebacks=dirty_flushed,
+                        molecules=region.molecule_count,
+                    )
+                )
+            self._after_withdraw(
+                region, withdrawn, moved_total, dirty_flushed, total_accesses
+            )
+        else:
+            # A fully denied withdrawal (floor reached, or the placement
+            # policy had nothing to give) used to vanish from the log,
+            # leaving inspect timelines asymmetric with grow-denied.
+            self.resizer.log.append(
+                (total_accesses, region.asid, "withdraw-denied", amount)
+            )
+
+    # -------------------------------------------------------------- hooks
+
+    def _choose_victim(self, region: CacheRegion):
+        """The molecule to vacate for one withdrawal step.
+
+        The flush backend defers to the placement policy (the paper's
+        rule: withdraw where the miss counters say the least data
+        lives); the chash backend overrides this to minimise
+        displacement instead.
+        """
+        return self.cache.placement.choose_withdrawal(region)
+
+    def _reclaim(self, region: CacheRegion, molecule) -> tuple[int, int]:
+        """Empty one withdrawn molecule; return ``(writebacks, moved)``.
+
+        The flush behaviour: detach (dropping every resident line),
+        release the molecule to the free pool, write dirty lines back.
+        """
+        flushed = region.detach_molecule(molecule)
+        tile = self.cache.tile_of(molecule.tile_id)
+        tile.release(molecule)
+        dirty = 0
+        for block, was_dirty in flushed:
+            if was_dirty:
+                dirty += 1
+            self.cache.placement.on_evict(region, block)
+        self.cache.stats.writebacks_to_memory += dirty
+        self.cache.stats.flush_writebacks += dirty
+        # Every resident line was displaced from its home molecule: the
+        # clean ones are refetched from memory on next use, the dirty
+        # ones additionally cross the bus now (flush_writebacks above).
+        self.cache.stats.resize_blocks_moved += len(flushed)
+        return dirty, 0
+
+    def _after_growth(
+        self, region: CacheRegion, granted: list, total_accesses: int, action: str
+    ) -> None:
+        """Post-grant hook (``action`` is ``"grow"`` or ``"repair"``)."""
+
+    def _after_withdraw(
+        self,
+        region: CacheRegion,
+        withdrawn: int,
+        moved: int,
+        writebacks: int,
+        total_accesses: int,
+    ) -> None:
+        """Post-withdrawal hook (only runs when molecules were removed)."""
+
+
+class FlushMechanism(ResizeMechanism):
+    """The paper's mechanism: withdrawn molecules are flushed whole."""
+
+
+def make_resize_mechanism(name: str, resizer: "Resizer") -> ResizeMechanism:
+    """Build a resize mechanism by name (``flush`` / ``chash``)."""
+    if name == "flush":
+        return FlushMechanism(resizer)
+    if name == "chash":
+        from repro.molecular.chash import ConsistentHashMechanism
+
+        return ConsistentHashMechanism(resizer)
+    raise ConfigError(
+        f"unknown resize mechanism {name!r}; expected 'flush' or 'chash'"
+    )
+
+
 class Resizer:
     """Drives Algorithm 1 for every managed region of a molecular cache."""
 
@@ -100,6 +327,7 @@ class Resizer:
         "next_global_at",
         "log",
         "advisor",
+        "mechanism",
     )
 
     def __init__(self, cache, policy: ResizePolicy) -> None:
@@ -117,6 +345,7 @@ class Resizer:
             self.advisor = StackDistanceAdvisor(
                 cache.config.lines_per_molecule
             )
+        self.mechanism = make_resize_mechanism(policy.mechanism, self)
 
     # ------------------------------------------------------------ triggers
 
@@ -160,7 +389,12 @@ class Resizer:
         if self.policy.trigger == "global_adaptive":
             overall = self.cache.stats.window_miss_rate()
             goal = self._aggregate_goal(regions)
-            if overall < goal:
+            # An idle round (every managed window empty) carries no
+            # signal: hold the period instead of treating "0.0 < 0.0"
+            # as a missed goal and slashing it 10x.
+            if goal is None:
+                pass
+            elif overall < goal:
                 self.global_period = min(self.global_period * 2, self.policy.period_cap)
             else:
                 self.global_period = max(
@@ -180,15 +414,19 @@ class Resizer:
         if started is not None:
             profiler.add_resize(tick() - started)
 
-    def _aggregate_goal(self, regions: list[CacheRegion]) -> float:
-        """Access-weighted mean goal — the "overall miss rate goal"."""
+    def _aggregate_goal(self, regions: list[CacheRegion]) -> float | None:
+        """Access-weighted mean goal — the "overall miss rate goal".
+
+        Returns ``None`` when every managed region's window was empty:
+        there is no miss-rate evidence to adapt the period on.
+        """
         weighted = 0.0
         accesses = 0
         for region in regions:
             weighted += (region.goal or 0.0) * region.window_accesses
             accesses += region.window_accesses
         if accesses == 0:
-            return 0.0
+            return None
         return weighted / accesses
 
     # ------------------------------------------------- per-app round
@@ -310,106 +548,19 @@ class Resizer:
             )
         )
 
-    # ------------------------------------------------------------- repair
+    # ------------------------------------------------------------- actions
+    #
+    # Thin delegates: the decision layer (and a handful of tests) call
+    # these; the configured ResizeMechanism applies the change.
 
     def _repair(self, region: CacheRegion, total_accesses: int) -> None:
-        """Replace molecules lost to hard faults since the last epoch.
-
-        Runs before Algorithm 1's decision so the decision sees a region
-        restored (as far as the free pool allows) to its pre-fault size.
-        Repair grants do not touch ``last_allocation`` — they are capacity
-        restoration, not Algorithm 1 growth, so the panic branch's clamp
-        must not learn from them. Partial grants leave the remainder
-        pending for the next epoch.
-        """
-        wanted = region.pending_repair
-        if wanted <= 0:
-            return
-        cluster = self.cache.cluster_of_tile(region.home_tile_id)
-        granted = cluster.ulmo.allocate(region.asid, wanted, region.home_tile_id)
-        for molecule in granted:
-            row = self.cache.placement.add_row_index(region)
-            region.add_molecule(molecule, row)
-        if granted:
-            region.pending_repair -= len(granted)
-            self.cache.stats.molecules_repaired += len(granted)
-            self.log.append((total_accesses, region.asid, "repair", len(granted)))
-            bus = getattr(self.cache, "telemetry", None)
-            if bus is not None:
-                bus.emit(
-                    RegionRepaired(
-                        accesses=total_accesses,
-                        asid=region.asid,
-                        requested=wanted,
-                        granted=len(granted),
-                        tiles=sorted({m.tile_id for m in granted}),
-                        molecules=region.molecule_count,
-                    )
-                )
-        else:
-            self.log.append((total_accesses, region.asid, "repair-denied", wanted))
-
-    # ------------------------------------------------------------- actions
+        self.mechanism.repair(region, total_accesses)
 
     def _grow(self, region: CacheRegion, amount: int, total_accesses: int) -> None:
-        if amount <= 0:
-            return
-        cluster = self.cache.cluster_of_tile(region.home_tile_id)
-        granted = cluster.ulmo.allocate(region.asid, amount, region.home_tile_id)
-        for molecule in granted:
-            row = self.cache.placement.add_row_index(region)
-            region.add_molecule(molecule, row)
-        if granted:
-            region.last_allocation = len(granted)
-            self.cache.stats.molecules_granted += len(granted)
-            self.log.append((total_accesses, region.asid, "grow", len(granted)))
-            bus = getattr(self.cache, "telemetry", None)
-            if bus is not None:
-                bus.emit(
-                    MoleculeGranted(
-                        accesses=total_accesses,
-                        asid=region.asid,
-                        count=len(granted),
-                        tiles=sorted({m.tile_id for m in granted}),
-                        molecules=region.molecule_count,
-                    )
-                )
-        else:
-            self.log.append((total_accesses, region.asid, "grow-denied", amount))
+        self.mechanism.grow(region, amount, total_accesses)
 
     def _withdraw(self, region: CacheRegion, amount: int, total_accesses: int) -> None:
-        withdrawn = 0
-        dirty_flushed = 0
-        for _ in range(amount):
-            if region.molecule_count <= self.policy.min_molecules:
-                break
-            molecule = self.cache.placement.choose_withdrawal(region)
-            flushed = region.detach_molecule(molecule)
-            tile = self.cache.tile_of(molecule.tile_id)
-            tile.release(molecule)
-            dirty = 0
-            for block, was_dirty in flushed:
-                if was_dirty:
-                    dirty += 1
-                self.cache.placement.on_evict(region, block)
-            self.cache.stats.writebacks_to_memory += dirty
-            self.cache.stats.flush_writebacks += dirty
-            dirty_flushed += dirty
-            withdrawn += 1
-        if withdrawn:
-            self.cache.stats.molecules_withdrawn += withdrawn
-            self.log.append((total_accesses, region.asid, "withdraw", withdrawn))
-            bus = getattr(self.cache, "telemetry", None)
-            if bus is not None:
-                bus.emit(
-                    MoleculeWithdrawn(
-                        accesses=total_accesses,
-                        asid=region.asid,
-                        count=withdrawn,
-                        writebacks=dirty_flushed,
-                        molecules=region.molecule_count,
-                    )
-                )
+        self.mechanism.withdraw(region, amount, total_accesses)
 
     def force_resize(self) -> None:
         """Run a resize round immediately (test/diagnostic hook)."""

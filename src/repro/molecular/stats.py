@@ -32,8 +32,22 @@ class MolecularStats(CacheStats):
         Dirty lines written back because a molecule was flushed on
         withdrawal (the remainder of ``writebacks_to_memory`` is dirty
         replacement evictions, counted per ASID in ``total.writebacks``).
+        Under the ``chash`` mechanism only *spilled* lines (resident data
+        that found no empty slot on the survivors) land here.
     resize_events / molecules_granted / molecules_withdrawn:
         Resize-engine activity.
+    resize_blocks_moved / resize_spill_writebacks / resize_remap_work:
+        Resize data-movement accounting (DESIGN.md section 13).
+        ``resize_blocks_moved`` counts resident lines a resize action
+        displaced from their home molecule, under *either* backend: the
+        flush backend displaces every resident line of a withdrawn
+        molecule (clean lines are refetched from memory later, dirty
+        ones also cross the bus now), the chash backend counts lines
+        migrated on a grow plus lines adopted-or-spilled on a withdraw.
+        ``resize_spill_writebacks`` is the chash backend's dirty lines
+        spilled to memory for want of a survivor slot (a subset of
+        ``flush_writebacks``); ``resize_remap_work`` its ring-ownership
+        evaluations (one per resident block considered for remap).
     faults_injected / molecules_retired / molecules_repaired /
     lines_invalidated:
         Fault-injection activity: faults applied, molecules retired by
@@ -53,6 +67,9 @@ class MolecularStats(CacheStats):
     resize_events: int = 0
     molecules_granted: int = 0
     molecules_withdrawn: int = 0
+    resize_blocks_moved: int = 0
+    resize_spill_writebacks: int = 0
+    resize_remap_work: int = 0
     resize_compute_cycles: int = 0
     latency_cycles: int = 0
     faults_injected: int = 0
@@ -112,6 +129,9 @@ class MolecularStats(CacheStats):
                 "resize_events": self.resize_events,
                 "molecules_granted": self.molecules_granted,
                 "molecules_withdrawn": self.molecules_withdrawn,
+                "resize_blocks_moved": self.resize_blocks_moved,
+                "resize_spill_writebacks": self.resize_spill_writebacks,
+                "resize_remap_work": self.resize_remap_work,
                 "resize_compute_cycles": self.resize_compute_cycles,
                 "latency_cycles": self.latency_cycles,
                 "mean_latency_cycles": self.mean_latency_cycles(),

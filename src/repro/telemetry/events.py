@@ -16,6 +16,9 @@ The event vocabulary mirrors the paper's observable dynamics:
   with the window miss rate it saw.
 * :class:`MoleculeGranted` / :class:`MoleculeWithdrawn` — the resize
   engine actually moved capacity (Figure 6's step changes).
+* :class:`MoleculeRemapped` — the consistent-hashing mechanism
+  (:mod:`repro.molecular.chash`) migrated resident blocks between
+  molecules during a resize instead of flushing them.
 * :class:`EpochRollover` — a periodic snapshot of every region's epoch
   miss rate, molecule count, occupancy and hits-per-molecule; the raw
   material of the paper's time-resolved plots.
@@ -119,8 +122,10 @@ class ResizeDecision(TelemetryEvent):
     """One Algorithm-1 evaluation for one region.
 
     ``action`` is the branch taken: ``grow``, ``withdraw``, ``grow-denied``
-    (the allocator had no free molecules) or ``hold`` (no capacity change).
-    ``period`` is the resize period in effect when the decision fired.
+    (the allocator had no free molecules), ``withdraw-denied`` (the floor
+    or the placement policy refused every withdrawal) or ``hold`` (no
+    capacity change). ``period`` is the resize period in effect when the
+    decision fired.
     """
 
     kind: ClassVar[str] = "resize_decision"
@@ -157,6 +162,28 @@ class MoleculeWithdrawn(TelemetryEvent):
     asid: int
     count: int
     writebacks: int
+    molecules: int
+
+
+@dataclass(frozen=True, slots=True)
+class MoleculeRemapped(TelemetryEvent):
+    """The chash mechanism migrated resident blocks during a resize.
+
+    ``action`` is the capacity change that triggered the remap (``grow``,
+    ``withdraw`` or ``repair``), ``count`` the molecules added or removed,
+    ``moved`` the resident blocks migrated into their new ring owners,
+    ``spilled`` the dirty lines written back because no survivor had a
+    free slot, and ``molecules`` the region size after the change.
+    """
+
+    kind: ClassVar[str] = "molecule_remapped"
+
+    accesses: int
+    asid: int
+    action: str
+    count: int
+    moved: int
+    spilled: int
     molecules: int
 
 
@@ -403,6 +430,7 @@ EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
         ResizeDecision,
         MoleculeGranted,
         MoleculeWithdrawn,
+        MoleculeRemapped,
         EpochRollover,
         AuditReport,
         JobSubmitted,

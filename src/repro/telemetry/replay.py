@@ -21,6 +21,7 @@ from pathlib import Path
 from repro.telemetry.events import (
     AccessSampled,
     MoleculeGranted,
+    MoleculeRemapped,
     MoleculeWithdrawn,
     RemoteSearch,
     ResizeDecision,
@@ -43,6 +44,7 @@ class InspectReport:
     decisions: list[ResizeDecision] = field(default_factory=list)
     grants: list[MoleculeGranted] = field(default_factory=list)
     withdrawals: list[MoleculeWithdrawn] = field(default_factory=list)
+    remaps: list[MoleculeRemapped] = field(default_factory=list)
     access_samples: int = 0
     remote_searches: int = 0
     total_events: int = 0
@@ -62,6 +64,8 @@ class InspectReport:
             self.grants.append(event)
         elif isinstance(event, MoleculeWithdrawn):
             self.withdrawals.append(event)
+        elif isinstance(event, MoleculeRemapped):
+            self.remaps.append(event)
         elif isinstance(event, AccessSampled):
             self.access_samples += 1
         elif isinstance(event, RemoteSearch):
@@ -136,6 +140,7 @@ class InspectReport:
             f"({len(self.timeline)} epochs, {len(self.decisions)} resize "
             f"decisions, {len(self.grants)} grants, "
             f"{len(self.withdrawals)} withdrawals, "
+            f"{len(self.remaps)} remaps, "
             f"{self.remote_searches} remote searches, "
             f"{self.access_samples} access samples)"
         )
@@ -168,6 +173,32 @@ class InspectReport:
         )
         if max_rows is not None and len(self.decisions) > max_rows:
             table += f"\n... {len(self.decisions) - max_rows} more decisions"
+        return table
+
+    def remap_table(self, max_rows: int | None = None) -> str:
+        from repro.sim.report import format_table
+
+        remaps = self.remaps if max_rows is None else self.remaps[:max_rows]
+        rows = [
+            [
+                remap.accesses,
+                remap.asid,
+                remap.action,
+                remap.count,
+                remap.moved,
+                remap.spilled,
+                remap.molecules,
+            ]
+            for remap in remaps
+        ]
+        table = format_table(
+            ["accesses", "asid", "action", "count", "moved", "spilled",
+             "molecules"],
+            rows,
+            title="Consistent-hash remaps (chash resize backend)",
+        )
+        if max_rows is not None and len(self.remaps) > max_rows:
+            table += f"\n... {len(self.remaps) - max_rows} more remaps"
         return table
 
     def summary_table(self) -> str:
@@ -290,6 +321,8 @@ class InspectReport:
         sections = [self.header()]
         if self.decisions:
             sections.append(self.resize_table(max_rows=max_rows))
+        if self.remaps:
+            sections.append(self.remap_table(max_rows=max_rows))
         if len(self.timeline):
             for metric, title in (
                 ("miss_rate", "Per-region miss rate by epoch"),

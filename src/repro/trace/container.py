@@ -80,10 +80,16 @@ class Trace:
         )
 
     def blocks(self, line_bytes: int = 64) -> np.ndarray:
-        """Block numbers at the given line size (vectorised, uncached)."""
+        """Block numbers at the given line size (vectorised, uncached).
+
+        Always equal to ``addresses // line_bytes`` for non-negative
+        addresses — the shift amount is parenthesised so it cannot be
+        re-associated with the shift by a careless edit (``a >> b - 1``
+        only means ``a >> (b - 1)`` by precedence accident).
+        """
         if line_bytes <= 0 or line_bytes & (line_bytes - 1):
             raise ConfigError(f"line size must be a power of two, got {line_bytes}")
-        return self.addresses >> int(line_bytes).bit_length() - 1
+        return self.addresses >> (int(line_bytes).bit_length() - 1)
 
     def block_column(self, line_bytes: int = 64) -> np.ndarray:
         """Block-number column, lazily materialised and cached per line size.
@@ -155,7 +161,25 @@ class Trace:
         return Trace(self.addresses.copy(), asid, self.writes.copy())
 
     def offset(self, base: int) -> "Trace":
-        """Copy with ``base`` added to every address (address-space placement)."""
+        """Copy with ``base`` added to every address (address-space placement).
+
+        Raises :class:`ConfigError` if the shift would overflow the int64
+        address column — numpy would otherwise wrap the addresses silently
+        and the trace would alias unrelated blocks.
+        """
+        bounds = np.iinfo(np.int64)
+        if not bounds.min <= base <= bounds.max:
+            raise ConfigError(
+                f"trace offset {base} does not fit in the int64 address column"
+            )
+        if len(self.addresses):
+            low = int(self.addresses.min())
+            high = int(self.addresses.max())
+            if high + base > bounds.max or low + base < bounds.min:
+                raise ConfigError(
+                    f"trace offset {base} overflows int64 addresses "
+                    f"(range [{low}, {high}])"
+                )
         return Trace(self.addresses + np.int64(base), self.asids.copy(), self.writes.copy())
 
     # ----------------------------------------------------------- persistence

@@ -158,7 +158,7 @@ class TestRegistry:
     def test_every_cli_experiment_is_registered(self):
         assert experiment_names() == [
             "table1", "table2", "table4", "table5", "figure5",
-            "degradation", "figure6", "tenancy",
+            "degradation", "figure6", "tenancy", "resize-mechanism",
         ]
 
     def test_defaults_match_the_old_cli_ladder(self):
@@ -171,6 +171,7 @@ class TestRegistry:
             "degradation": 200_000,
             "figure6": 300_000,
             "tenancy": 60_000,
+            "resize-mechanism": 60_000,
         }
         for name, refs in expected.items():
             assert get_experiment(name).default_refs == refs

@@ -61,14 +61,15 @@ class TestWithdrawFloor:
         assert actions_for(cache, 0)[-1] == ("withdraw", 6 - floor)
         assert_invariants(cache)
 
-    def test_withdraw_at_the_floor_is_a_silent_no_op(self):
+    def test_withdraw_at_the_floor_logs_withdraw_denied(self):
+        """A fully denied withdrawal is chronicled, symmetric with
+        grow-denied — it used to vanish from the log entirely."""
         cache = build_cache()
         region = cache.regions[0]
         assert region.molecule_count == cache.resize_policy.min_molecules
-        before = len(cache.resizer.log)
         cache.resizer._withdraw(region, 5, 1)
         assert region.molecule_count == cache.resize_policy.min_molecules
-        assert len(cache.resizer.log) == before  # nothing happened
+        assert actions_for(cache, 0)[-1] == ("withdraw-denied", 5)
         assert cache.stats.molecules_withdrawn == 0
 
     def test_decide_clamps_shrink_to_the_floor(self):

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.common.errors import ConfigError
 from repro.common.types import Access, AccessType
@@ -64,6 +66,71 @@ class TestAccessors:
     def test_footprint(self):
         trace = Trace([0, 8, 64, 64, 128])
         assert trace.footprint_blocks(64) == 3
+
+
+class TestBlocksProperty:
+    """Pin blocks() to integer division across every line size.
+
+    The shift ``addresses >> (bit_length - 1)`` once read
+    ``addresses >> bit_length - 1`` — correct only because Python parses
+    shifts below subtraction. The property holds regardless of how the
+    expression is grouped in future edits.
+    """
+
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=(1 << 62) - 1),
+            min_size=1,
+            max_size=64,
+        ),
+        line_exp=st.integers(min_value=0, max_value=20),
+    )
+    def test_blocks_match_floor_division(self, addresses, line_exp):
+        line_bytes = 1 << line_exp
+        trace = Trace(addresses)
+        expected = [address // line_bytes for address in addresses]
+        assert trace.blocks(line_bytes).tolist() == expected
+
+    def test_blocks_all_power_of_two_lines(self):
+        addresses = [0, 1, 63, 64, 65, 4095, 4096, (1 << 40) + 17]
+        trace = Trace(addresses)
+        for exp in range(16):
+            line_bytes = 1 << exp
+            assert trace.blocks(line_bytes).tolist() == [
+                address // line_bytes for address in addresses
+            ]
+
+
+class TestOffsetOverflow:
+    def test_offset_overflow_raises(self):
+        bounds = np.iinfo(np.int64)
+        trace = Trace([0, bounds.max - 10])
+        with pytest.raises(ConfigError):
+            trace.offset(11)
+
+    def test_offset_underflow_raises(self):
+        bounds = np.iinfo(np.int64)
+        trace = Trace([bounds.min + 5, 0])
+        with pytest.raises(ConfigError):
+            trace.offset(-6)
+
+    def test_offset_base_beyond_int64_raises(self):
+        trace = Trace([0, 64])
+        with pytest.raises(ConfigError):
+            trace.offset(1 << 64)
+        with pytest.raises(ConfigError):
+            trace.offset(-(1 << 64))
+
+    def test_offset_at_the_boundary_is_exact(self):
+        bounds = np.iinfo(np.int64)
+        trace = Trace([0, 10])
+        moved = trace.offset(bounds.max - 10)
+        assert moved.addresses.tolist() == [bounds.max - 10, bounds.max]
+
+    def test_offset_empty_trace_accepts_any_base(self):
+        empty = Trace(np.empty(0, dtype=np.int64))
+        bounds = np.iinfo(np.int64)
+        assert len(empty.offset(bounds.max)) == 0
 
 
 class TestTransforms:
