@@ -1,0 +1,101 @@
+"""Guard: the lease protocol's coordination overhead stays marginal.
+
+The distributed drain exists for fault tolerance, not speed — but its
+bookkeeping (lease files, heartbeats, scandir passes) must not tax the
+common case. The contract from the subsystem's acceptance criteria: a
+*single* lease-protocol worker draining a campaign store lands within
+``MAX_OVERHEAD`` of the serial campaign runner on the same jobs (both
+pay the simulation cost; the delta is pure protocol).
+
+``REPRO_PERF_SOFT=1`` reports without failing (CI soft gate), like the
+other perf guards. The measured overhead lands in the benchmark ledger
+as ``lease_overhead`` for `repro bench-report` trend tracking.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import emit
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    LeaseConfig,
+    ResultStore,
+    get_experiment,
+    run_worker,
+)
+
+#: Allowed wall-clock overhead of leases vs the serial runner (fraction).
+MAX_OVERHEAD = float(os.environ.get("REPRO_MAX_LEASE_OVERHEAD", "0.10"))
+PERF_SOFT = os.environ.get("REPRO_PERF_SOFT", "") == "1"
+REFS_PER_APP = 200_000
+
+
+#: Timed repetitions per side; min-of-N screens out machine noise, which
+#: at a ~1s drain is far larger than the protocol cost being measured.
+ROUNDS = 2
+
+
+def test_single_worker_lease_overhead_within_budget(tmp_path):
+    target = get_experiment("figure5")
+    specs = target.jobs(refs=REFS_PER_APP, graph="A")
+
+    serial_elapsed = float("inf")
+    for round_ in range(ROUNDS):
+        serial_store = ResultStore(tmp_path / f"serial{round_}")
+        start = time.perf_counter()
+        outcome = CampaignRunner(
+            serial_store, CampaignConfig(jobs=1, resume=False)
+        ).run(specs, campaign="figure5")
+        serial_elapsed = min(serial_elapsed, time.perf_counter() - start)
+    serial_text = target.assemble_results(
+        specs, outcome.results_in_order(), graph="A"
+    ).format()
+
+    lease_elapsed = float("inf")
+    for round_ in range(ROUNDS):
+        lease_store = ResultStore(tmp_path / f"leased{round_}")
+        lease_store.write_manifest("figure5", specs, {"graph": "A"})
+        start = time.perf_counter()
+        report = run_worker(lease_store, config=LeaseConfig(ttl=30.0))
+        lease_elapsed = min(lease_elapsed, time.perf_counter() - start)
+    lease_text = target.assemble_results(
+        specs,
+        [lease_store.load_result(s.content_hash()) for s in specs],
+        graph="A",
+    ).format()
+
+    assert report.committed == len(specs)
+    assert lease_text == serial_text, (
+        "a lease-protocol drain must reproduce the serial output "
+        "byte-for-byte"
+    )
+
+    overhead = lease_elapsed / max(serial_elapsed, 1e-9) - 1.0
+    emit(
+        "perf_lease",
+        "Lease protocol overhead (figure5, single worker)\n"
+        f"  jobs                  : {len(specs)}\n"
+        f"  serial runner         : {serial_elapsed:.2f}s\n"
+        f"  lease worker          : {lease_elapsed:.2f}s\n"
+        f"  overhead              : {overhead * 100:+.1f}% "
+        f"(budget {MAX_OVERHEAD * 100:.0f}%)\n"
+        f"  byte-identical output : yes",
+        metrics=[
+            {
+                "metric": "lease_overhead",
+                "value": overhead,
+                "unit": "fraction",
+                "direction": "lower",
+            }
+        ],
+    )
+    if not PERF_SOFT:
+        assert overhead <= MAX_OVERHEAD, (
+            f"lease bookkeeping cost {overhead * 100:.1f}% over the serial "
+            f"runner (budget {MAX_OVERHEAD * 100:.0f}%); set "
+            "REPRO_PERF_SOFT=1 to report without failing"
+        )

@@ -48,13 +48,29 @@ from repro.campaign.runner import (
     CampaignRunner,
     execute_spec,
 )
+from repro.campaign.lease import Lease, LeaseConfig, LeaseManager
 from repro.campaign.spec import JobSpec, expand_grid
 from repro.campaign.store import ResultStore
+from repro.campaign.worker import (
+    DistributedOutcome,
+    WorkerReport,
+    merge_worker_events,
+    run_distributed,
+    run_worker,
+)
 
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "CampaignRunner",
+    "DistributedOutcome",
+    "Lease",
+    "LeaseConfig",
+    "LeaseManager",
+    "WorkerReport",
+    "merge_worker_events",
+    "run_distributed",
+    "run_worker",
     "EXPERIMENTS",
     "ExperimentTarget",
     "FormattedResult",

@@ -1,0 +1,537 @@
+"""Filesystem-coordinated job leases: the distributed-campaign protocol.
+
+N worker processes — on one machine or on many machines sharing the
+store directory over a network filesystem — drain one campaign with no
+central dispatcher. The only coordination primitives are atomic
+filesystem operations every POSIX (and NFS) implementation provides:
+
+* ``O_CREAT | O_EXCL`` — at most one worker creates ``leases/<hash>.json``
+  for a never-leased job; everyone else sees ``FileExistsError``;
+* ``os.replace`` — lease renewals, reclaims and result commits are
+  all-or-nothing; a reader never observes a truncated JSON file.
+
+Layout added to a :class:`~repro.campaign.store.ResultStore` directory::
+
+    <root>/
+        leases/<hash>.json      # one live or reacquirable lease per job
+        quarantine/<hash>.json  # poison jobs parked with attempt history
+
+A lease record carries the owning worker's id, a **fencing token** (the
+number of acquisitions the job has ever had — strictly monotonic, since
+every transfer of ownership goes through the previous record), the
+acquisition and last-heartbeat wall-clock stamps, and the full attempt
+``history``. Wall-clock (``time.time``) rather than the monotonic tick is
+deliberate: heartbeats must be comparable *across machines*, and the
+protocol tolerates skew (see below).
+
+Safety model
+------------
+
+The protocol does **not** try to guarantee mutual exclusion under every
+interleaving — over NFS that is a fool's errand. It guarantees something
+campaigns actually need:
+
+* **at-most-one effective commit** — ``commit`` re-checks the lease
+  record immediately before publishing; a zombie worker whose lease was
+  reclaimed (its owner/token no longer match) discards its write, and
+  the results file itself is only ever created once (first
+  ``os.replace`` wins, later committers observe ``results/<hash>.json``
+  and stand down);
+* **progress despite lost races** — jobs are deterministic and results
+  content-hashed, so in the worst interleaving (two workers both believe
+  they reclaimed the same expired lease) both compute byte-identical
+  payloads and the double execution wastes time, never correctness.
+
+That pair is why clock skew is survivable: a fast-clock worker reclaims
+early and merely races the original owner; a slow-clock worker reclaims
+late and merely wastes patience. Fencing decides the commit either way.
+
+Liveness model
+--------------
+
+A worker heartbeats its lease every ``heartbeat`` seconds while the job
+runs. A lease whose heartbeat is older than ``ttl`` is *expired* — its
+owner is presumed dead — and any worker may **reclaim** it (token + 1,
+history entry appended). ``job_timeout`` bounds how long a heartbeat is
+willing to vouch for one job: past it the heartbeat stops renewing, so a
+*hung* worker (alive but stuck) loses its lease too instead of pinning
+the job forever — when it finally wakes its commit is fenced off.
+
+A job whose attempt history reaches ``max_reclaims`` entries is not
+re-leased but **quarantined**: parked in ``quarantine/<hash>.json`` with
+every attempt on record, so one poison job cannot crash-loop the fleet.
+The drain then completes *degraded*, reporting the quarantined jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.spec import JobSpec
+from repro.campaign.store import ResultStore
+from repro.common.errors import ConfigError
+from repro.common.io import atomic_write_json
+from repro.telemetry.events import JobQuarantined, LeaseAcquired, LeaseExpired
+
+__all__ = [
+    "Lease",
+    "LeaseConfig",
+    "LeaseManager",
+    "Heartbeat",
+    "make_owner_id",
+]
+
+
+def make_owner_id() -> str:
+    """A worker identity unique across hosts, processes and restarts."""
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+@dataclass(slots=True)
+class LeaseConfig:
+    """Knobs of the lease protocol (one instance per worker).
+
+    ``ttl`` is the liveness horizon: a lease not heartbeated for this
+    long is presumed orphaned and may be reclaimed. ``heartbeat``
+    defaults to a third of it so two renewals can be lost before a peer
+    moves in. ``job_timeout`` caps how long the heartbeat vouches for a
+    single job (None = forever — only a dead process loses its lease);
+    set it when hung jobs must be reclaimable. ``max_reclaims`` is K:
+    a job whose lease dies K times is quarantined, not re-leased.
+    """
+
+    ttl: float = 30.0
+    heartbeat: float | None = None
+    job_timeout: float | None = None
+    max_reclaims: int = 3
+    #: First contention backoff in seconds; doubles per idle pass.
+    backoff: float = 0.05
+    #: Backoff ceiling — also bounds how stale a worker's view of a
+    #: peer's death can be, so keep it well under ``ttl``.
+    backoff_cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ttl <= 0:
+            raise ConfigError(f"lease ttl must be positive, got {self.ttl}")
+        if self.heartbeat is None:
+            self.heartbeat = self.ttl / 3.0
+        if self.heartbeat <= 0 or self.heartbeat > self.ttl:
+            raise ConfigError(
+                f"heartbeat interval must be in (0, ttl], got {self.heartbeat}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ConfigError("job_timeout must be positive when set")
+        if self.max_reclaims < 1:
+            raise ConfigError(
+                f"max_reclaims must be >= 1, got {self.max_reclaims}"
+            )
+        if self.backoff <= 0 or self.backoff_cap < self.backoff:
+            raise ConfigError(
+                "backoff must be positive and no larger than backoff_cap"
+            )
+
+
+@dataclass(slots=True)
+class Lease:
+    """A worker's handle on one acquired job."""
+
+    job_hash: str
+    owner: str
+    token: int
+    acquired: float
+    #: Set by the heartbeat (or a failed renewal) when ownership was
+    #: observably lost — the worker should finish quietly and expect
+    #: its commit to be fenced.
+    lost: bool = False
+    #: Set by the heartbeat when ``job_timeout`` elapsed and renewals
+    #: stopped: the lease may still nominally be ours, but we no longer
+    #: defend it.
+    abandoned: bool = False
+
+
+class Heartbeat:
+    """Background renewal of one lease while its job executes.
+
+    Renewal re-reads the record and verifies ownership before touching
+    it, so a reclaimed lease is *detected*, never overwritten — the
+    thread then flips ``lease.lost`` and exits. After ``job_timeout``
+    seconds it stops renewing without marking the lease lost
+    (``lease.abandoned``): the job keeps running, but a peer may now
+    reclaim, and the eventual commit must pass the fence to count.
+    """
+
+    def __init__(
+        self, manager: "LeaseManager", lease: Lease, interval: float,
+        job_timeout: float | None,
+    ) -> None:
+        self._manager = manager
+        self._lease = lease
+        self._interval = interval
+        self._job_timeout = job_timeout
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-heartbeat-{lease.job_hash[:8]}",
+            daemon=True,
+        )
+        self._started = manager.clock()
+
+    def __enter__(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._interval * 4 + 1.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if (
+                self._job_timeout is not None
+                and self._manager.clock() - self._started > self._job_timeout
+            ):
+                self._lease.abandoned = True
+                return
+            if not self._manager.renew(self._lease):
+                return
+
+
+class LeaseManager:
+    """Lease acquisition, renewal, reclamation, commit and quarantine.
+
+    One instance per worker; all instances sharing a store directory
+    coordinate purely through its ``leases/`` and ``quarantine/``
+    subdirectories. ``clock`` is injectable (wall-clock seconds) so
+    tests — and the chaos harness — can skew one worker's view of time.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        owner: str | None = None,
+        config: LeaseConfig | None = None,
+        telemetry=None,
+        clock: Callable[[], float] = time.time,
+        campaign: str = "campaign",
+    ) -> None:
+        self.store = store
+        self.owner = owner or make_owner_id()
+        self.config = config or LeaseConfig()
+        self.telemetry = telemetry
+        self.clock = clock
+        self.campaign = campaign
+        self.leases_dir = store.root / "leases"
+        self.quarantine_dir = store.root / "quarantine"
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------ plumbing
+
+    def _emit(self, event) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(event)
+
+    def _lease_path(self, job_hash: str) -> Path:
+        return self.leases_dir / f"{job_hash}.json"
+
+    def _quarantine_path(self, job_hash: str) -> Path:
+        return self.quarantine_dir / f"{job_hash}.json"
+
+    def read(self, job_hash: str) -> dict[str, Any] | None:
+        """The current lease record, or None (never leased / released /
+        corrupt — a torn record is treated as absent, the same way a
+        crashed write would be)."""
+        try:
+            with self._lease_path(job_hash).open(
+                "r", encoding="utf-8"
+            ) as fh:
+                return json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def _owns(self, record: dict[str, Any] | None, lease: Lease) -> bool:
+        return (
+            record is not None
+            and record.get("state") == "active"
+            and record.get("owner") == lease.owner
+            and record.get("token") == lease.token
+        )
+
+    def expired(self, record: dict[str, Any]) -> bool:
+        """Liveness judgement by *this worker's* clock — skew shifts the
+        judgement, fencing keeps it safe."""
+        if record.get("state") == "open":
+            return True  # released after an in-process failure
+        heartbeat = float(record.get("heartbeat", 0.0))
+        return self.clock() - heartbeat > self.config.ttl
+
+    # ------------------------------------------------------- acquisition
+
+    def try_acquire(self, job_hash: str) -> Lease | None:
+        """Claim a never-leased job via ``O_EXCL``; None when contended.
+
+        For a job with an existing lease record use :meth:`try_reclaim`
+        — acquisition must go through the old record so the fencing
+        token stays monotonic.
+        """
+        if self._quarantine_path(job_hash).exists():
+            # A peer parked the job (possibly mid-way through our drain
+            # pass); its lease file is gone, but it must stay dead.
+            return None
+        now = self.clock()
+        record = {
+            "state": "active",
+            "owner": self.owner,
+            "token": 1,
+            "acquired": now,
+            "heartbeat": now,
+            "history": [],
+        }
+        path = self._lease_path(job_hash)
+        try:
+            fd = os.open(
+                path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+            )
+        except FileExistsError:
+            return None
+        except OSError as error:
+            raise ConfigError(
+                f"cannot create lease {path}: {error}"
+            ) from None
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, separators=(",", ":"), sort_keys=True)
+        lease = Lease(
+            job_hash=job_hash, owner=self.owner, token=1, acquired=now
+        )
+        self._emit(
+            LeaseAcquired(
+                campaign=self.campaign, job=job_hash, owner=self.owner,
+                token=1, reclaimed=False, at=now,
+            )
+        )
+        return lease
+
+    def try_reclaim(self, job_hash: str) -> Lease | None:
+        """Take over an expired (or failure-released) lease.
+
+        Returns the new lease, or None when the record is live, gone,
+        lost to a racing reclaimer, or pushed over the quarantine
+        threshold (in which case the job was parked, not re-leased).
+        """
+        record = self.read(job_hash)
+        if record is None or not self.expired(record):
+            return None
+        now = self.clock()
+        history = list(record.get("history", ()))
+        if record.get("state") == "active":
+            # A dead (or hung past job_timeout) owner: record the death.
+            # ``open`` records already carry their last chapter — fail()
+            # appended it, and abandon() deliberately added nothing.
+            history.append({
+                "owner": record.get("owner"),
+                "token": record.get("token", 0),
+                "acquired": record.get("acquired"),
+                "last_heartbeat": record.get("heartbeat"),
+                "reason": "expired",
+                "error": None,
+                "ended": now,
+            })
+            self._emit(
+                LeaseExpired(
+                    campaign=self.campaign, job=job_hash,
+                    owner=str(record.get("owner")),
+                    token=int(record.get("token", 0)),
+                    age=now - float(record.get("heartbeat", now)),
+                    by=self.owner, at=now,
+                )
+            )
+            if len(history) >= self.config.max_reclaims:
+                self._quarantine(job_hash, history)
+                return None
+        token = int(record.get("token", 0)) + 1
+        new_record = {
+            "state": "active",
+            "owner": self.owner,
+            "token": token,
+            "acquired": now,
+            "heartbeat": now,
+            "history": history,
+        }
+        atomic_write_json(self._lease_path(job_hash), new_record)
+        # CAS-less takeover: a racing reclaimer may have replaced the
+        # record between our read and write. Re-read to learn who the
+        # filesystem says won; the loser backs off (and if it was
+        # already running, the commit fence stops it).
+        lease = Lease(
+            job_hash=job_hash, owner=self.owner, token=token, acquired=now
+        )
+        if not self._owns(self.read(job_hash), lease):
+            return None
+        self._emit(
+            LeaseAcquired(
+                campaign=self.campaign, job=job_hash, owner=self.owner,
+                token=token, reclaimed=True, at=now,
+            )
+        )
+        return lease
+
+    # ---------------------------------------------------------- lifetime
+
+    def renew(self, lease: Lease) -> bool:
+        """Refresh the heartbeat; False (and ``lease.lost``) when the
+        record no longer names us — never overwrites a reclaimer."""
+        record = self.read(lease.job_hash)
+        if not self._owns(record, lease):
+            lease.lost = True
+            return False
+        record["heartbeat"] = self.clock()
+        atomic_write_json(self._lease_path(lease.job_hash), record)
+        return True
+
+    def heartbeat(self, lease: Lease) -> Heartbeat:
+        """A context manager renewing ``lease`` while a job runs."""
+        return Heartbeat(
+            self, lease, self.config.heartbeat, self.config.job_timeout
+        )
+
+    def fail(self, lease: Lease, error: BaseException) -> bool:
+        """Record an in-process job failure and release the lease.
+
+        The record flips to ``state: open`` (immediately reclaimable by
+        anyone, ourselves included) with the failure appended to the
+        history — in-process crashes and worker deaths draw down the
+        same ``max_reclaims`` budget. Returns False when the job was
+        quarantined instead of released.
+        """
+        record = self.read(lease.job_hash)
+        if not self._owns(record, lease):
+            return True  # already reclaimed; the reclaimer owns the story
+        now = self.clock()
+        history = list(record.get("history", ())) + [{
+            "owner": lease.owner,
+            "token": lease.token,
+            "acquired": record.get("acquired"),
+            "last_heartbeat": record.get("heartbeat"),
+            "reason": "failed",
+            "error": str(error) or type(error).__name__,
+            "ended": now,
+        }]
+        if len(history) >= self.config.max_reclaims:
+            self._quarantine(lease.job_hash, history)
+            return False
+        atomic_write_json(
+            self._lease_path(lease.job_hash),
+            {
+                "state": "open",
+                "owner": lease.owner,
+                "token": lease.token,
+                "acquired": record.get("acquired"),
+                "heartbeat": now,
+                "history": history,
+            },
+        )
+        return True
+
+    def abandon(self, lease: Lease) -> None:
+        """Reopen the lease without charging its quarantine budget.
+
+        For interruptions (SIGINT/SIGTERM) that are the *worker's*
+        story, not the job's: the record flips to ``state: open`` with
+        the history untouched, so any worker — including a restarted
+        us — can take the job straight back.
+        """
+        record = self.read(lease.job_hash)
+        if not self._owns(record, lease):
+            return
+        record["state"] = "open"
+        record["heartbeat"] = self.clock()
+        atomic_write_json(self._lease_path(lease.job_hash), record)
+
+    def commit(
+        self, lease: Lease, spec: JobSpec, result: Any, elapsed: float,
+    ) -> bool:
+        """Fencing-checked idempotent result publication.
+
+        True — our write is the one in ``results/``. False — we were a
+        stale duplicate: the result already existed, or the lease record
+        stopped naming our (owner, token) because a peer reclaimed it.
+        Either way the job *is* complete or will be completed by the
+        fence winner; the caller just must not count it as its own.
+        """
+        if self.store.has(lease.job_hash):
+            self._release(lease)
+            return False
+        if not self._owns(self.read(lease.job_hash), lease):
+            lease.lost = True
+            return False
+        self.store.save(spec, result, elapsed, lease.token)
+        self._release(lease)
+        return True
+
+    def _release(self, lease: Lease) -> None:
+        """Drop the lease file once its job is durable in ``results/``.
+
+        Only when the record still names us: a reclaimer's record must
+        survive so *its* commit path sees a fenced view, not a void.
+        """
+        if self._owns(self.read(lease.job_hash), lease):
+            try:
+                os.unlink(self._lease_path(lease.job_hash))
+            except FileNotFoundError:
+                pass
+
+    # -------------------------------------------------------- quarantine
+
+    def _quarantine(self, job_hash: str, history: list[dict]) -> None:
+        now = self.clock()
+        atomic_write_json(
+            self._quarantine_path(job_hash),
+            {
+                "job": job_hash,
+                "attempts": len(history),
+                "history": history,
+                "quarantined_at": now,
+                "by": self.owner,
+            },
+        )
+        try:
+            os.unlink(self._lease_path(job_hash))
+        except FileNotFoundError:
+            pass
+        self._emit(
+            JobQuarantined(
+                campaign=self.campaign, job=job_hash,
+                attempts=len(history),
+                owners=[str(entry.get("owner")) for entry in history],
+                at=now,
+            )
+        )
+
+    def quarantined(self) -> set[str]:
+        """Hashes parked in ``quarantine/`` (one scandir, like
+        :meth:`ResultStore.completed`)."""
+        try:
+            with os.scandir(self.quarantine_dir) as entries:
+                return {
+                    entry.name[:-5]
+                    for entry in entries
+                    if entry.name.endswith(".json")
+                }
+        except FileNotFoundError:
+            return set()
+
+    def quarantine_record(self, job_hash: str) -> dict[str, Any] | None:
+        try:
+            with self._quarantine_path(job_hash).open(
+                "r", encoding="utf-8"
+            ) as fh:
+                return json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None

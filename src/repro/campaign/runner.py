@@ -437,8 +437,19 @@ class CampaignRunner:
                     index=index,
                 )
             )
+            record = None
             if job_hash in cached:
-                record = self.store.load(job_hash)
+                try:
+                    record = self.store.load(job_hash)
+                except ConfigError as error:
+                    # The stored result was corrupt: load() quarantined
+                    # it to <hash>.json.corrupt, so the job is simply
+                    # incomplete again — demote it to pending instead of
+                    # failing the whole resume.
+                    print(
+                        f"campaign: {error}", file=sys.stderr
+                    )
+            if record is not None:
                 result.payloads[job_hash] = record["result"]
                 result.cached.add(job_hash)
                 self._emit(

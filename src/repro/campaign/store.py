@@ -5,6 +5,9 @@ Layout of a store directory::
     <root>/
         manifest.json           # what the campaign is (specs in order)
         results/<hash>.json     # one completed job, keyed by content hash
+        leases/<hash>.json      # distributed drain only (campaign/lease.py)
+        quarantine/<hash>.json  # poison jobs parked by the lease protocol
+        events/worker-N.jsonl   # per-worker telemetry (sweep --distributed)
 
 Every write is atomic (tmp file in the same directory + ``os.replace``)
 so a campaign killed mid-write never leaves a truncated JSON file — on
@@ -18,6 +21,7 @@ identical specs a pure cache hit.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -73,16 +77,43 @@ class ResultStore:
         except FileNotFoundError:
             raise ConfigError(f"no campaign result {job_hash} in {self.root}") from None
         except json.JSONDecodeError as error:
+            # Honour the store's crash-safety promise: a result that does
+            # not parse (bit rot, a non-atomic writer, a torn NFS page)
+            # is moved aside — not left to wedge every future resume —
+            # and the job simply counts as incomplete again.
+            corrupt = path.with_name(path.name + ".corrupt")
+            try:
+                os.replace(path, corrupt)
+            except OSError:
+                pass  # a concurrent reader already moved (or removed) it
             raise ConfigError(
-                f"{path}: corrupt campaign result ({error}); delete it and re-run"
+                f"{path}: corrupt campaign result ({error}); quarantined "
+                f"to {corrupt.name}, the job will re-run"
             ) from None
 
     def load_result(self, job_hash: str) -> Any:
         return self.load(job_hash)["result"]
 
     def completed(self, hashes: Iterable[str]) -> set[str]:
-        """The subset of ``hashes`` that already have a stored result."""
-        return {job_hash for job_hash in hashes if self.has(job_hash)}
+        """The subset of ``hashes`` that already have a stored result.
+
+        One ``scandir`` of ``results/`` intersected with the request,
+        not one ``stat`` per hash: at 1000+ jobs over a network
+        filesystem the per-file round-trips dominate, and distributed
+        workers call this every drain pass. (``*.json.corrupt``
+        quarantine files fail the suffix test, so a corrupt result
+        correctly counts as incomplete.)
+        """
+        try:
+            with os.scandir(self.results_dir) as entries:
+                present = {
+                    entry.name[: -len(".json")]
+                    for entry in entries
+                    if entry.name.endswith(".json")
+                }
+        except FileNotFoundError:
+            return set()
+        return present.intersection(hashes)
 
     # ----------------------------------------------------------- manifest
 
@@ -108,13 +139,28 @@ class ResultStore:
         )
 
     def read_manifest(self) -> dict[str, Any] | None:
-        """The stored manifest, or None when the store is fresh."""
+        """The stored manifest, or None when the store is fresh.
+
+        A manifest written by an incompatible store layout (a different
+        ``MANIFEST_VERSION``) is rejected outright: silently mixing
+        layouts would let a resumed or distributed campaign trust
+        results keyed under different semantics.
+        """
         try:
             with self.manifest_path.open("r", encoding="utf-8") as fh:
-                return json.load(fh)
+                manifest = json.load(fh)
         except FileNotFoundError:
             return None
         except json.JSONDecodeError as error:
             raise ConfigError(
                 f"{self.manifest_path}: corrupt campaign manifest ({error})"
             ) from None
+        version = manifest.get("version")
+        if version != MANIFEST_VERSION:
+            raise ConfigError(
+                f"{self.manifest_path}: manifest version {version!r} is "
+                f"incompatible with this store layout (expected "
+                f"{MANIFEST_VERSION}); point the campaign at a fresh "
+                "--out directory"
+            )
+        return manifest

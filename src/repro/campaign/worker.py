@@ -1,0 +1,450 @@
+"""The dispatcherless campaign worker: drain a shared store via leases.
+
+``run_worker`` is the whole distributed protocol from one process's
+point of view: read the campaign manifest, then loop — claim an
+unleased job (:meth:`~repro.campaign.lease.LeaseManager.try_acquire`),
+or reclaim an expired one, execute it with a heartbeat, and publish the
+result through the fencing-checked commit. When every job is either in
+``results/`` or ``quarantine/``, the worker exits. N such processes
+pointed at one store directory *are* the campaign runner; none of them
+is special, and any of them can die at any instant without stopping the
+drain (a peer reclaims its lease after ``ttl``).
+
+Contention is handled with exponential backoff plus jitter: a pass over
+the remaining jobs that acquires nothing (everything is leased by live
+peers) sleeps before the next pass, doubling up to ``backoff_cap`` —
+so a fleet stampeding one store settles into polite polling while the
+leaseholders work.
+
+``run_distributed`` is the single-host convenience wrapper behind
+``repro sweep --distributed N``: it writes the manifest, spawns N local
+worker processes, waits for the drain, and either assembles the results
+(byte-identical to the serial path) or reports the campaign *degraded*
+with its quarantined jobs. Worker chaos directives
+(:class:`~repro.faults.chaos.WorkerChaos`) can sabotage individual
+workers — SIGKILL mid-job, hang, clock skew — which is how the chaos
+suite proves convergence.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.lease import LeaseConfig, LeaseManager, make_owner_id
+from repro.campaign.runner import execute_spec
+from repro.campaign.spec import JobSpec
+from repro.campaign.store import ResultStore
+from repro.common.errors import CampaignError, ConfigError
+from repro.faults.chaos import WorkerChaos
+from repro.telemetry.events import JobCompleted, JobStarted
+
+__all__ = [
+    "WorkerReport",
+    "run_worker",
+    "DistributedOutcome",
+    "run_distributed",
+    "merge_worker_events",
+]
+
+
+@dataclass(slots=True)
+class WorkerReport:
+    """What one worker did to the store before the drain completed."""
+
+    owner: str
+    campaign: str
+    committed: int = 0
+    fenced: int = 0
+    failed: int = 0
+    reclaims: int = 0
+    backoffs: int = 0
+    quarantined: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"worker {self.owner} [{self.campaign}]: "
+            f"{self.committed} committed, {self.fenced} fenced, "
+            f"{self.failed} failed, {self.reclaims} reclaimed, "
+            f"{len(self.quarantined)} quarantined, "
+            f"{self.backoffs} backoff(s)"
+        )
+
+
+def _manifest_jobs(store: ResultStore) -> tuple[str, list[tuple[str, dict]]]:
+    """Campaign name + ordered unique (hash, spec payload) pairs."""
+    manifest = store.read_manifest()
+    if manifest is None:
+        raise ConfigError(
+            f"{store.root} has no campaign manifest; run `repro sweep "
+            "<experiment> --out <store>` (or write_manifest) first"
+        )
+    jobs: list[tuple[str, dict]] = []
+    seen: set[str] = set()
+    for entry in manifest.get("jobs", ()):
+        job_hash = entry["hash"]
+        if job_hash not in seen:
+            seen.add(job_hash)
+            jobs.append((job_hash, entry["spec"]))
+    if not jobs:
+        raise ConfigError(f"{store.root}: manifest lists no jobs")
+    return str(manifest.get("campaign", "campaign")), jobs
+
+
+def run_worker(
+    store: ResultStore | str | Path,
+    config: LeaseConfig | None = None,
+    owner: str | None = None,
+    telemetry=None,
+    chaos: WorkerChaos | None = None,
+    clock: Callable[[], float] = time.time,
+) -> WorkerReport:
+    """Drain one campaign store until every job is done or quarantined.
+
+    Safe to run N-fold concurrently against the same directory; exits
+    when there is nothing left this worker could ever do. ``chaos``
+    sabotages *this* worker only (the chaos harness's lever), ``clock``
+    skews its view of lease time.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    config = config or LeaseConfig()
+    campaign, jobs = _manifest_jobs(store)
+    manager = LeaseManager(
+        store, owner=owner, config=config, telemetry=telemetry,
+        clock=clock, campaign=campaign,
+    )
+    report = WorkerReport(owner=manager.owner, campaign=campaign)
+    index_of = {job_hash: i for i, (job_hash, _p) in enumerate(jobs)}
+    rng = random.Random(manager.owner)
+    acquisitions = 0
+    idle_passes = 0
+
+    while True:
+        done = store.completed(h for h, _p in jobs)
+        parked = manager.quarantined()
+        remaining = [
+            (job_hash, payload)
+            for job_hash, payload in jobs
+            if job_hash not in done and job_hash not in parked
+        ]
+        if not remaining:
+            break
+        progressed = False
+        for job_hash, payload in remaining:
+            if store.has(job_hash):  # a peer finished it this pass
+                continue
+            lease = manager.try_acquire(job_hash)
+            if lease is None:
+                lease = manager.try_reclaim(job_hash)
+                if lease is not None:
+                    report.reclaims += 1
+                elif manager.quarantine_record(job_hash) is not None:
+                    # our reclaim attempt pushed it over max_reclaims
+                    report.quarantined.append(job_hash)
+                    progressed = True
+                    continue
+            if lease is None:
+                continue
+            progressed = True
+            acquisitions += 1
+            if chaos is not None:
+                # kill@N fires *after* the lease is durable on disk and
+                # before any result is — the orphaned-lease scenario.
+                chaos.on_acquire(acquisitions)
+            if telemetry is not None:
+                telemetry.emit(
+                    JobStarted(
+                        campaign=campaign, job=job_hash,
+                        index=index_of[job_hash], attempt=lease.token,
+                    )
+                )
+            outcome = error = None
+            with manager.heartbeat(lease):
+                try:
+                    if chaos is not None:
+                        chaos.before_execute(acquisitions, job_hash)
+                    outcome = execute_spec(payload)
+                except (KeyboardInterrupt, SystemExit):
+                    # Not the job's fault: reopen the lease without
+                    # drawing down its quarantine budget.
+                    manager.abandon(lease)
+                    raise
+                except BaseException as caught:
+                    error = caught
+            if error is not None:
+                report.failed += 1
+                if not manager.fail(lease, error):
+                    report.quarantined.append(job_hash)
+                continue
+            spec = JobSpec.from_payload(payload)
+            if manager.commit(
+                lease, spec, outcome["result"], outcome["elapsed"]
+            ):
+                report.committed += 1
+                if telemetry is not None:
+                    telemetry.emit(
+                        JobCompleted(
+                            campaign=campaign, job=job_hash,
+                            index=index_of[job_hash], attempts=lease.token,
+                            elapsed=outcome["elapsed"], cached=False,
+                        )
+                    )
+            else:
+                report.fenced += 1
+        if progressed:
+            idle_passes = 0
+        else:
+            # Everything left is leased by live peers (or waiting out a
+            # dead peer's ttl): exponential backoff with jitter so the
+            # fleet doesn't hammer the store in lockstep.
+            idle_passes += 1
+            report.backoffs += 1
+            delay = min(
+                config.backoff_cap,
+                config.backoff * (2 ** (idle_passes - 1)),
+            ) * (0.5 + rng.random())
+            time.sleep(delay)
+    return report
+
+
+# ------------------------------------------------------------- distributed
+
+
+@dataclass(slots=True)
+class DistributedOutcome:
+    """What a ``--distributed N`` drain left in the store."""
+
+    campaign: str
+    specs: list[JobSpec]
+    workers: int
+    exitcodes: list[int | None]
+    completed: int = 0
+    quarantined: list[dict[str, Any]] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantined)
+
+    def results_in_order(self, store: ResultStore) -> list[Any]:
+        return [
+            store.load_result(spec.content_hash()) for spec in self.specs
+        ]
+
+    def summary(self) -> str:
+        deaths = sum(1 for code in self.exitcodes if code not in (0, 1))
+        text = (
+            f"campaign {self.campaign}: {len(self.specs)} jobs over "
+            f"{self.workers} worker(s) ({self.completed} completed, "
+            f"{len(self.quarantined)} quarantined, {deaths} worker "
+            f"death(s)) in {self.elapsed:.1f}s [distributed]"
+        )
+        return text
+
+    def degraded_report(self) -> str:
+        """The explicit quarantined-jobs report of a degraded campaign."""
+        lines = [
+            f"campaign {self.campaign}: DEGRADED — "
+            f"{len(self.quarantined)} job(s) quarantined after repeated "
+            "lease reclaims"
+        ]
+        for record in self.quarantined:
+            history = record.get("history", [])
+            owners = ", ".join(
+                str(entry.get("owner", "?")) for entry in history
+            )
+            errors = [
+                entry.get("error")
+                for entry in history
+                if entry.get("error")
+            ]
+            lines.append(
+                f"  job {record.get('job', '?')[:12]}: "
+                f"{record.get('attempts', len(history))} attempt(s) "
+                f"by [{owners}]"
+                + (f"; last error: {errors[-1]}" if errors else "")
+            )
+        lines.append(
+            "  re-run with a fresh quarantine/ to retry these jobs"
+        )
+        return "\n".join(lines)
+
+
+def _worker_entry(
+    store_root: str,
+    config_kwargs: dict[str, Any],
+    owner: str,
+    record: str | None,
+    chaos_spec: str | None,
+    skew: float,
+) -> None:
+    """Child-process body of one ``--distributed`` worker (picklable)."""
+    bus = None
+    if record is not None:
+        from repro.telemetry import EventBus, JsonlSink
+
+        bus = EventBus([JsonlSink(record)], epoch_refs=0)
+    clock: Callable[[], float] = (
+        (lambda: time.time() + skew) if skew else time.time
+    )
+    try:
+        report = run_worker(
+            store_root,
+            config=LeaseConfig(**config_kwargs),
+            owner=owner,
+            telemetry=bus,
+            chaos=WorkerChaos.parse(chaos_spec) if chaos_spec else None,
+            clock=clock,
+        )
+        # Stderr, never stdout: the parent's stdout must stay
+        # byte-comparable with the serial sweep.
+        print(report.summary(), file=sys.stderr, flush=True)
+    finally:
+        if bus is not None:
+            bus.close()
+
+
+def _mp_context():
+    """fork when the platform has it (fast), spawn otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context("spawn")
+
+
+def run_distributed(
+    store: ResultStore,
+    specs: list[JobSpec],
+    campaign: str,
+    workers: int,
+    options: dict[str, Any] | None = None,
+    config: LeaseConfig | None = None,
+    record_events: bool = False,
+    worker_chaos: list[str | None] | None = None,
+    worker_skews: list[float] | None = None,
+) -> DistributedOutcome:
+    """Write the manifest, spawn N local workers, wait out the drain.
+
+    The processes coordinate purely through the store directory — this
+    function could exit after writing the manifest and workers on other
+    machines would drain it just the same; spawning locally is only a
+    convenience. ``worker_chaos[i]``/``worker_skews[i]`` sabotage worker
+    i (the chaos harness's entry point).
+    """
+    if workers < 2:
+        raise ConfigError(
+            "run_distributed needs >= 2 workers; use the serial runner "
+            "for one"
+        )
+    if not specs:
+        raise ConfigError("a campaign needs at least one job spec")
+    config = config or LeaseConfig()
+    store.write_manifest(campaign, specs, dict(options or {}))
+    events_dir = store.root / "events"
+    if record_events:
+        events_dir.mkdir(parents=True, exist_ok=True)
+
+    started = time.perf_counter()
+    context = _mp_context()
+    processes = []
+    for rank in range(workers):
+        owner = f"{make_owner_id()}:w{rank}"
+        chaos_spec = (worker_chaos or [None] * workers)[rank]
+        skew = (worker_skews or [0.0] * workers)[rank]
+        record = (
+            str(events_dir / f"worker-{rank}.jsonl")
+            if record_events
+            else None
+        )
+        config_kwargs = {
+            "ttl": config.ttl,
+            "heartbeat": config.heartbeat,
+            "job_timeout": config.job_timeout,
+            "max_reclaims": config.max_reclaims,
+            "backoff": config.backoff,
+            "backoff_cap": config.backoff_cap,
+        }
+        process = context.Process(
+            target=_worker_entry,
+            args=(
+                str(store.root), config_kwargs, owner, record,
+                chaos_spec, skew,
+            ),
+            name=f"repro-worker-{rank}",
+            daemon=False,
+        )
+        process.start()
+        processes.append(process)
+    for process in processes:
+        process.join()
+
+    hashes = [spec.content_hash() for spec in specs]
+    done = store.completed(hashes)
+    manager = LeaseManager(store, config=config, campaign=campaign)
+    parked = manager.quarantined()
+    outcome = DistributedOutcome(
+        campaign=campaign,
+        specs=list(specs),
+        workers=workers,
+        exitcodes=[process.exitcode for process in processes],
+        completed=len(done),
+        quarantined=[
+            record
+            for job_hash in sorted(parked)
+            if (record := manager.quarantine_record(job_hash)) is not None
+        ],
+        elapsed=time.perf_counter() - started,
+    )
+    pending = [h for h in hashes if h not in done and h not in parked]
+    if pending:
+        raise CampaignError(
+            f"distributed drain stalled: {len(pending)} job(s) neither "
+            f"completed nor quarantined and every worker has exited "
+            f"(exit codes {outcome.exitcodes}); re-run `repro worker "
+            f"{store.root}` to finish"
+        )
+    return outcome
+
+
+def merge_worker_events(store_root: str | Path, out_path: str | Path) -> int:
+    """Merge per-worker JSONL streams into one ``repro inspect`` file.
+
+    Lease events carry a wall-clock ``at``; events without one (job
+    lifecycle) inherit the last ``at`` seen in their own file, which
+    keeps each worker's stream in order while interleaving workers by
+    time. Returns the number of merged events.
+    """
+    events_dir = Path(store_root) / "events"
+    decorated: list[tuple[float, int, int, str]] = []
+    try:
+        files = sorted(events_dir.glob("*.jsonl"))
+    except OSError:
+        files = []
+    for file_index, path in enumerate(files):
+        last_at = 0.0
+        with path.open("r", encoding="utf-8") as fh:
+            for line_index, line in enumerate(fh):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    at = json.loads(line).get("at")
+                except json.JSONDecodeError:
+                    continue  # torn tail of a killed worker's stream
+                if isinstance(at, (int, float)):
+                    last_at = float(at)
+                decorated.append((last_at, file_index, line_index, line))
+    decorated.sort(key=lambda item: (item[0], item[1], item[2]))
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with out_path.open("w", encoding="utf-8") as fh:
+        for _at, _file, _line, text in decorated:
+            fh.write(text + "\n")
+    return len(decorated)

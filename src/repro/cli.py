@@ -23,7 +23,15 @@ Commands
     Run an experiment as a campaign: independent jobs on a worker pool
     (``--jobs``), cached in a content-hashed result store (``--out``),
     resumable after interruption (``--resume``). Output is
-    byte-identical to ``experiment``.
+    byte-identical to ``experiment``. ``--distributed N`` drains the
+    sweep with N lease-coordinated worker processes sharing the store
+    (crash-tolerant: dead workers' jobs are reclaimed; poison jobs are
+    quarantined after ``--max-reclaims`` attempts).
+``worker STORE``
+    Join a campaign as one lease-protocol worker: claim jobs from the
+    store's manifest via atomic lease files, heartbeat while running,
+    commit results fenced by lease token. Any number of workers on a
+    shared filesystem drain one campaign with no dispatcher.
 ``simulate``
     Run a workload mix on a molecular or traditional cache; ``--record``
     writes a telemetry JSONL stream alongside the run, ``--faults``
@@ -332,8 +340,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     out = Path(args.out) if args.out else Path("campaigns") / args.name
     store = ResultStore(out)
+    if args.distributed is not None and args.distributed >= 2:
+        return _sweep_distributed(args, target, specs, options, store)
     config = CampaignConfig(
-        jobs=args.jobs,
+        # --distributed 1 degrades gracefully to the plain serial path:
+        # one process, no leases, no coordination overhead.
+        jobs=1 if args.distributed is not None else args.jobs,
         timeout=args.timeout,
         retries=args.retries,
         resume=args.resume,
@@ -381,6 +393,121 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"campaign telemetry: {sink.count} events -> {sink.path}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _sweep_distributed(args, target, specs, options, store) -> int:
+    """``repro sweep --distributed N``: N lease-protocol workers, one store."""
+    from repro.campaign import (
+        LeaseConfig,
+        merge_worker_events,
+        run_distributed,
+    )
+    from repro.faults.chaos import WorkerChaos
+
+    config = LeaseConfig(
+        ttl=args.ttl,
+        job_timeout=args.timeout,
+        max_reclaims=args.max_reclaims,
+    )
+    worker_chaos = None
+    if args.worker_chaos:
+        parts = [part.strip() for part in args.worker_chaos.split(";")]
+        for part in parts:
+            WorkerChaos.parse(part)  # fail fast on grammar errors
+        worker_chaos = [
+            parts[rank] if rank < len(parts) and parts[rank] else None
+            for rank in range(args.distributed)
+        ]
+
+    outcome = run_distributed(
+        store,
+        specs,
+        campaign=args.name,
+        workers=args.distributed,
+        options=options,
+        config=config,
+        record_events=bool(args.record),
+        worker_chaos=worker_chaos,
+    )
+    if args.record:
+        count = merge_worker_events(store.root, args.record)
+        print(
+            f"campaign telemetry: {count} events -> {args.record} "
+            "(replay with `python -m repro inspect`)",
+            file=sys.stderr,
+        )
+    if outcome.degraded:
+        # The campaign *completed*, minus its poison jobs: say exactly
+        # which they are and who died on them, and exit nonzero so
+        # automation notices the degradation.
+        print(outcome.degraded_report())
+        print(f"{outcome.summary()} -> {store.root}", file=sys.stderr)
+        return 1
+    result = target.assemble_results(
+        specs, outcome.results_in_order(store), **options
+    )
+    print(result.format())
+    print(f"{outcome.summary()} -> {store.root}", file=sys.stderr)
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.campaign import (
+        LeaseConfig,
+        LeaseManager,
+        ResultStore,
+        run_worker,
+    )
+    from repro.faults.chaos import WorkerChaos
+
+    bus = sink = None
+    if args.record:
+        from pathlib import Path
+
+        from repro.telemetry import EventBus, JsonlSink
+
+        Path(args.record).parent.mkdir(parents=True, exist_ok=True)
+        sink = JsonlSink(args.record)
+        bus = EventBus([sink], epoch_refs=0)
+    clock = (
+        (lambda: time.time() + args.skew) if args.skew else time.time
+    )
+    store = ResultStore(args.store)
+    try:
+        report = run_worker(
+            store,
+            config=LeaseConfig(
+                ttl=args.ttl,
+                heartbeat=args.heartbeat,
+                job_timeout=args.job_timeout,
+                max_reclaims=args.max_reclaims,
+            ),
+            owner=args.owner,
+            telemetry=bus,
+            chaos=WorkerChaos.parse(args.chaos),
+            clock=clock,
+        )
+    finally:
+        if bus is not None:
+            bus.close()
+            print(
+                f"worker telemetry: {sink.count} events -> {sink.path}",
+                file=sys.stderr,
+            )
+    print(report.summary(), file=sys.stderr)
+    # Degraded drain (poison jobs parked by anyone) exits 1 so scripts
+    # babysitting a fleet notice without parsing stderr.
+    parked = LeaseManager(store).quarantined()
+    if parked:
+        print(
+            f"worker: store holds {len(parked)} quarantined job(s); "
+            "the campaign completed degraded",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -718,6 +845,50 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["flush", "chash"], default=None,
                        help="restrict the resize-mechanism experiment to "
                             "one backend (default: compare both)")
+    sweep.add_argument("--distributed", metavar="N", type=int, default=None,
+                       help="drain the sweep with N lease-coordinated worker "
+                            "processes over the shared store (1 = plain "
+                            "serial, no coordination overhead)")
+    sweep.add_argument("--ttl", type=float, default=15.0,
+                       help="lease time-to-live in seconds before a dead "
+                            "worker's job is reclaimed (--distributed only)")
+    sweep.add_argument("--max-reclaims", type=int, default=3,
+                       help="reclaims/failures before a job is quarantined "
+                            "as poison (--distributed only)")
+    sweep.add_argument("--worker-chaos", metavar="SPECS", default=None,
+                       help="semicolon-separated per-worker sabotage "
+                            "directives for fault-tolerance testing, e.g. "
+                            "'kill@2;;hang@1:5' (--distributed only)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="drain a campaign store as one lease-protocol worker",
+    )
+    worker.add_argument("store",
+                        help="result store directory holding the campaign "
+                             "manifest (written by `repro sweep`)")
+    worker.add_argument("--owner", default=None,
+                        help="worker identity for leases "
+                             "(default: host:pid:uuid)")
+    worker.add_argument("--ttl", type=float, default=30.0,
+                        help="lease time-to-live in seconds")
+    worker.add_argument("--heartbeat", type=float, default=None,
+                        help="lease renewal interval (default: ttl/3)")
+    worker.add_argument("--job-timeout", type=float, default=None,
+                        help="stop heartbeating a job after this many "
+                             "seconds so peers can reclaim it")
+    worker.add_argument("--max-reclaims", type=int, default=3,
+                        help="reclaims/failures before a job is "
+                             "quarantined as poison")
+    worker.add_argument("--record", metavar="PATH", default=None,
+                        help="record lease/job events to a JSONL file "
+                             "(replay with `repro inspect`)")
+    worker.add_argument("--chaos", metavar="SPEC", default=None,
+                        help="self-sabotage directive for fault-tolerance "
+                             "testing: kill@N, hang@N:SECONDS, "
+                             "poison@PREFIX[:raise]")
+    worker.add_argument("--skew", type=float, default=0.0,
+                        help="artificial clock skew in seconds (testing)")
 
     simulate = sub.add_parser("simulate", help="run a workload mix on a cache")
     simulate.add_argument("--cache", choices=["molecular", "setassoc"],
@@ -909,6 +1080,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "experiment": cmd_experiment,
     "sweep": cmd_sweep,
+    "worker": cmd_worker,
     "simulate": cmd_simulate,
     "inspect": cmd_inspect,
     "fuzz": cmd_fuzz,

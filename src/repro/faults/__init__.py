@@ -16,12 +16,13 @@ Two layers of sabotage, both seeded and reproducible:
   machinery end to end.
 """
 
-from repro.faults.chaos import ChaosPolicy
+from repro.faults.chaos import ChaosPolicy, WorkerChaos
 from repro.faults.injector import FaultInjector, apply_fault
 from repro.faults.spec import FaultPlan, FaultSpec
 
 __all__ = [
     "ChaosPolicy",
+    "WorkerChaos",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",

@@ -14,7 +14,10 @@ reproducible.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
+import time
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
@@ -71,3 +74,99 @@ class ChaosPolicy:
         if roll < self.crash_rate + self.hang_rate + self.corrupt_rate:
             return {"action": "corrupt"}
         return None
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerChaos:
+    """Deterministic sabotage of one *lease-protocol* worker.
+
+    Where :class:`ChaosPolicy` sabotages pool jobs from the dispatcher's
+    side, ``WorkerChaos`` rides inside a ``repro worker`` process and
+    attacks the distributed drain itself. Directives (comma-separated in
+    the CLI grammar):
+
+    * ``kill@N`` — SIGKILL the worker right after it acquires its Nth
+      lease, before any result is written: the orphaned-lease scenario a
+      peer must reclaim after ``ttl``.
+    * ``hang@N:S`` — sleep S seconds inside the Nth job before
+      executing it: with a ``job_timeout`` below S the worker turns into
+      a stale zombie whose eventual commit must be fenced off.
+    * ``poison@PREFIX[:raise]`` — whenever the worker executes a job
+      whose content hash starts with ``PREFIX``, SIGKILL itself (or,
+      with ``:raise``, fail in-process). Handing every worker the same
+      poison directive forces the job through ``max_reclaims`` attempts
+      and into quarantine.
+
+    Everything is counted per *acquisition* in this worker, so a chaos
+    run is exactly reproducible.
+    """
+
+    kill_after: int | None = None
+    hang_at: int | None = None
+    hang_seconds: float = 5.0
+    poison: str | None = None
+    poison_raise: bool = False
+
+    @classmethod
+    def parse(cls, text: str | None) -> "WorkerChaos | None":
+        """Parse the CLI grammar; None/empty/"none" disables chaos."""
+        if not text or text.strip().lower() == "none":
+            return None
+        kill_after = hang_at = poison = None
+        hang_seconds = 5.0
+        poison_raise = False
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, rest = part.partition("@")
+            try:
+                if name == "kill":
+                    kill_after = int(rest)
+                elif name == "hang":
+                    count, _, seconds = rest.partition(":")
+                    hang_at = int(count)
+                    if seconds:
+                        hang_seconds = float(seconds)
+                elif name == "poison":
+                    prefix, _, mode = rest.partition(":")
+                    if not prefix:
+                        raise ValueError("empty poison prefix")
+                    if mode not in ("", "raise"):
+                        raise ValueError(f"unknown poison mode {mode!r}")
+                    poison = prefix
+                    poison_raise = mode == "raise"
+                else:
+                    raise ValueError(f"unknown directive {name!r}")
+            except ValueError as error:
+                raise ConfigError(
+                    f"bad worker-chaos directive {part!r}: {error}; "
+                    "grammar is kill@N, hang@N:S, poison@PREFIX[:raise]"
+                ) from None
+        if kill_after is not None and kill_after < 1:
+            raise ConfigError("kill@N needs N >= 1")
+        if hang_at is not None and (hang_at < 1 or hang_seconds <= 0):
+            raise ConfigError("hang@N:S needs N >= 1 and S > 0")
+        return cls(
+            kill_after=kill_after,
+            hang_at=hang_at,
+            hang_seconds=hang_seconds,
+            poison=poison,
+            poison_raise=poison_raise,
+        )
+
+    def on_acquire(self, acquisition: int) -> None:
+        """Fired after the worker's Nth lease hits the disk."""
+        if self.kill_after is not None and acquisition == self.kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def before_execute(self, acquisition: int, job_hash: str) -> None:
+        """Fired just before the Nth acquired job executes."""
+        if self.hang_at is not None and acquisition == self.hang_at:
+            time.sleep(self.hang_seconds)
+        if self.poison is not None and job_hash.startswith(self.poison):
+            if self.poison_raise:
+                raise RuntimeError(
+                    f"poisoned job {job_hash[:12]} (worker chaos)"
+                )
+            os.kill(os.getpid(), signal.SIGKILL)

@@ -38,6 +38,13 @@ The event vocabulary mirrors the paper's observable dynamics:
 * :class:`ChaosInjected` / :class:`CampaignInterrupted` — harness-level
   chaos (worker crash/hang/corruption) and a campaign stopped by
   SIGINT/SIGTERM with its completed results persisted.
+* :class:`LeaseAcquired` / :class:`LeaseExpired` / :class:`JobQuarantined`
+  — the distributed lease protocol (:mod:`repro.campaign.lease`): a
+  worker claimed (or reclaimed) a job, a dead worker's lease aged out
+  and was taken over, and a poison job was parked after exhausting its
+  reclaim budget. These carry a wall-clock ``at`` stamp — unlike every
+  other event — because they come from *independent processes* whose
+  streams ``repro inspect`` must interleave by time.
 
 This module depends only on the standard library so instrumented code
 (`molecular/cache.py`, `molecular/resize.py`) can import it without
@@ -415,6 +422,62 @@ class CampaignInterrupted(TelemetryEvent):
     pending: int
 
 
+@dataclass(frozen=True, slots=True)
+class LeaseAcquired(TelemetryEvent):
+    """A worker claimed one campaign job via the lease protocol.
+
+    ``token`` is the job's fencing token (its lifetime acquisition
+    count); ``reclaimed`` distinguishes a takeover of a dead worker's
+    lease from a first claim.
+    """
+
+    kind: ClassVar[str] = "lease_acquired"
+
+    campaign: str
+    job: str  # the spec's content hash
+    owner: str
+    token: int
+    reclaimed: bool
+    at: float  # wall clock, comparable across workers
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseExpired(TelemetryEvent):
+    """A lease outlived its ttl and was taken over by a peer.
+
+    ``owner``/``token`` name the presumed-dead holder, ``by`` the worker
+    that noticed, ``age`` how stale the last heartbeat was (by the
+    noticing worker's clock).
+    """
+
+    kind: ClassVar[str] = "lease_expired"
+
+    campaign: str
+    job: str
+    owner: str
+    token: int
+    age: float
+    by: str
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class JobQuarantined(TelemetryEvent):
+    """A job exhausted its lease-reclaim budget and was parked.
+
+    ``owners`` lists the worker that died (or failed) on each attempt,
+    oldest first — the crash-loop fingerprint ``repro inspect`` shows.
+    """
+
+    kind: ClassVar[str] = "job_quarantined"
+
+    campaign: str
+    job: str
+    attempts: int
+    owners: list[str]
+    at: float
+
+
 def _int_keys(table: dict) -> dict[int, Any]:
     """JSON objects stringify integer keys; undo that on replay."""
     return {int(key): value for key, value in table.items()}
@@ -444,6 +507,9 @@ EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
         TenantRunSummary,
         ChaosInjected,
         CampaignInterrupted,
+        LeaseAcquired,
+        LeaseExpired,
+        JobQuarantined,
     )
 }
 

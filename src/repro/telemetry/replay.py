@@ -20,6 +20,9 @@ from pathlib import Path
 
 from repro.telemetry.events import (
     AccessSampled,
+    JobQuarantined,
+    LeaseAcquired,
+    LeaseExpired,
     MoleculeGranted,
     MoleculeRemapped,
     MoleculeWithdrawn,
@@ -50,6 +53,10 @@ class InspectReport:
     total_events: int = 0
     tenant_epochs: list[TenantEpochSnapshot] = field(default_factory=list)
     tenant_summary: TenantRunSummary | None = None
+    lease_events: list[LeaseAcquired | LeaseExpired] = field(
+        default_factory=list
+    )
+    quarantines: list[JobQuarantined] = field(default_factory=list)
 
     # ------------------------------------------------------------ ingestion
 
@@ -74,6 +81,10 @@ class InspectReport:
             self.tenant_epochs.append(event)
         elif isinstance(event, TenantRunSummary):
             self.tenant_summary = event
+        elif isinstance(event, (LeaseAcquired, LeaseExpired)):
+            self.lease_events.append(event)
+        elif isinstance(event, JobQuarantined):
+            self.quarantines.append(event)
         else:
             self.timeline.emit(event)
 
@@ -144,6 +155,17 @@ class InspectReport:
             f"{self.remote_searches} remote searches, "
             f"{self.access_samples} access samples)"
         )
+        if self.lease_events or self.quarantines:
+            acquisitions = sum(
+                1 for e in self.lease_events if isinstance(e, LeaseAcquired)
+            )
+            expiries = sum(
+                1 for e in self.lease_events if isinstance(e, LeaseExpired)
+            )
+            lines.append(
+                f"leases: {acquisitions} acquisition(s), {expiries} "
+                f"expir(y/ies), {len(self.quarantines)} job(s) quarantined"
+            )
         return "\n".join(lines)
 
     def resize_table(self, max_rows: int | None = None) -> str:
@@ -235,6 +257,74 @@ class InspectReport:
              "goal@epoch", "peak occ", "mean occ", "final mol", "mean miss"],
             rows,
             title="Per-region summary",
+        )
+
+    def lease_table(self, max_rows: int | None = None) -> str:
+        """The distributed drain's lease timeline, interleaved by wall clock.
+
+        Lease events are the only ones stamped with wall-clock ``at``
+        (workers record independent streams); sorting on it rebuilds one
+        coherent campaign timeline from any merge order.
+        """
+        from repro.sim.report import format_table
+
+        events = sorted(self.lease_events, key=lambda e: e.at)
+        origin = events[0].at if events else 0.0
+        shown = events if max_rows is None else events[:max_rows]
+        rows = []
+        for event in shown:
+            if isinstance(event, LeaseAcquired):
+                rows.append(
+                    [
+                        f"{event.at - origin:.2f}",
+                        event.job[:12],
+                        "reclaim" if event.reclaimed else "acquire",
+                        event.owner,
+                        event.token,
+                        "",
+                    ]
+                )
+            else:
+                rows.append(
+                    [
+                        f"{event.at - origin:.2f}",
+                        event.job[:12],
+                        "expired",
+                        event.owner,
+                        event.token,
+                        f"stale {event.age:.1f}s, noticed by {event.by}",
+                    ]
+                )
+        table = format_table(
+            ["t(s)", "job", "event", "owner", "token", "detail"],
+            rows,
+            title="Lease timeline (distributed drain)",
+        )
+        if max_rows is not None and len(events) > max_rows:
+            table += f"\n... {len(events) - max_rows} more lease events"
+        return table
+
+    def quarantine_section(self) -> str:
+        from repro.sim.report import format_table
+
+        rows = [
+            [
+                event.job[:12],
+                event.attempts,
+                ", ".join(event.owners),
+            ]
+            for event in sorted(self.quarantines, key=lambda e: e.at)
+        ]
+        table = format_table(
+            ["job", "attempts", "owners (oldest first)"],
+            rows,
+            title="Quarantined jobs (poison: reclaim budget exhausted)",
+        )
+        return (
+            table
+            + "\nthese jobs have no stored result; the campaign completed "
+            "degraded. Inspect quarantine/<hash>.json in the store, fix "
+            "the cause, delete the file(s) and re-run."
         )
 
     def tenancy_epoch_table(self, max_rows: int | None = None) -> str:
@@ -335,11 +425,20 @@ class InspectReport:
                         metric, title=title, max_rows=max_rows
                     )
                 )
-        elif not self.tenant_epochs and self.tenant_summary is None:
+        elif (
+            not self.tenant_epochs
+            and self.tenant_summary is None
+            and not self.lease_events
+            and not self.quarantines
+        ):
             sections.append(
                 "no epoch rollovers recorded — was the bus created with "
                 "epoch_refs=0, or never closed?"
             )
+        if self.lease_events:
+            sections.append(self.lease_table(max_rows=max_rows))
+        if self.quarantines:
+            sections.append(self.quarantine_section())
         if self.tenant_epochs:
             sections.append(self.tenancy_epoch_table(max_rows=max_rows))
         if self.tenant_summary is not None:

@@ -150,6 +150,55 @@ class TestResultStore:
         with pytest.raises(ConfigError, match="corrupt"):
             store.load(job_hash)
 
+    def test_corrupt_result_is_quarantined_and_job_incomplete(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = JobSpec.make("table1", "combo", {})
+        job_hash = store.save(spec, {}, 0.0, 1)
+        path = store.results_dir / f"{job_hash}.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="quarantined"):
+            store.load(job_hash)
+        # The bad file was moved aside, not deleted (forensics), and the
+        # job now counts as incomplete so a resume re-runs it.
+        assert not path.exists()
+        assert (store.results_dir / f"{job_hash}.json.corrupt").exists()
+        assert not store.has(job_hash)
+        assert store.completed([job_hash]) == set()
+
+    def test_completed_single_scandir_matches_per_hash_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = [JobSpec.make("table1", "combo", {"i": i}) for i in range(6)]
+        for spec in specs[:4]:
+            store.save(spec, {}, 0.0, 1)
+        hashes = [s.content_hash() for s in specs]
+        assert store.completed(hashes) == {
+            h for h in hashes if store.has(h)
+        }
+        # Unknown hashes and an empty request behave sanely.
+        assert store.completed(["deadbeef"]) == set()
+        assert store.completed([]) == set()
+
+    def test_completed_on_missing_results_dir(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.results_dir.rmdir()
+        assert store.completed(["deadbeef"]) == set()
+
+    def test_manifest_version_mismatch_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = [JobSpec.make("table1", "combo", {})]
+        store.write_manifest("table1", specs, {})
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["version"] = 99
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigError, match="version 99"):
+            store.read_manifest()
+
+    def test_manifest_missing_version_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.manifest_path.write_text('{"campaign": "x", "jobs": []}')
+        with pytest.raises(ConfigError, match="incompatible"):
+            store.read_manifest()
+
 
 # ---------------------------------------------------------------- registry
 
@@ -248,6 +297,16 @@ class TestRunner:
         assert first.executed == 11 and not first.cached
         assert second.executed == 0 and len(second.cached) == 11
         assert text1 == text2
+
+    def test_corrupt_cached_result_reruns_on_resume(self, tmp_path):
+        """A rotted cache entry demotes the job to pending, not a crash."""
+        first, text1 = _run_table1_campaign(tmp_path, jobs=1)
+        store = ResultStore(tmp_path)
+        victim = sorted(store.results_dir.glob("*.json"))[0]
+        victim.write_text("{torn write")
+        rerun, text2 = _run_table1_campaign(tmp_path, jobs=1)
+        assert rerun.executed == 1 and len(rerun.cached) == 10
+        assert text2 == text1
 
     def test_resume_false_reruns_everything(self, tmp_path):
         _run_table1_campaign(tmp_path, jobs=1)

@@ -267,3 +267,68 @@ class TestObservabilityCommands:
     def test_trace_export_missing_file(self, capsys, tmp_path):
         assert main(["trace-export", str(tmp_path / "nope.json")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestDistributedCli:
+    """`repro sweep --distributed` and the standalone `repro worker`."""
+
+    def test_distributed_sweep_matches_serial_stdout(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert main(
+            ["sweep", "table1", "--refs", "1000", "--jobs", "1",
+             "--out", str(tmp_path / "serial")]
+        ) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["sweep", "table1", "--refs", "1000", "--distributed", "3",
+             "--ttl", "5", "--out", str(tmp_path / "dist")]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial  # stdout is byte-comparable
+        assert "[distributed]" in captured.err
+
+    def test_distributed_one_degrades_to_serial_path(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert main(
+            ["sweep", "table1", "--refs", "1000", "--distributed", "1",
+             "--out", str(tmp_path / "one")]
+        ) == 0
+        captured = capsys.readouterr()
+        # Serial campaign bookkeeping, no lease protocol engaged.
+        assert "[distributed]" not in captured.err
+        assert not (tmp_path / "one" / "leases").exists()
+
+    def test_worker_drains_a_prepared_store(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        from repro.campaign import ResultStore, get_experiment
+
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)[:3]
+        store = ResultStore(tmp_path / "store")
+        store.write_manifest("table1", specs, {})
+        assert main(["worker", str(tmp_path / "store"), "--ttl", "5"]) == 0
+        err = capsys.readouterr().err
+        assert "3 committed" in err
+        assert len(store.completed([s.content_hash() for s in specs])) == 3
+
+    def test_worker_without_manifest_errors(self, capsys, tmp_path):
+        assert main(["worker", str(tmp_path / "empty")]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_bad_worker_chaos_grammar_rejected(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        code = main(
+            ["sweep", "table1", "--refs", "1000", "--distributed", "2",
+             "--out", str(tmp_path / "x"),
+             "--worker-chaos", "explode@3"]
+        )
+        assert code == 2
+        assert "worker-chaos" in capsys.readouterr().err

@@ -1,0 +1,274 @@
+"""Multi-worker campaign drains: real processes, real SIGKILLs.
+
+The acceptance bar for ``sweep --distributed`` is byte-identity: however
+many workers drain the store, and whatever chaos (kills, hangs, clock
+skew) hits them mid-drain, the assembled output must equal the serial
+run's exactly. These tests spawn genuine OS processes through
+:func:`repro.campaign.worker.run_distributed` and sabotage them with
+deterministic :class:`~repro.faults.chaos.WorkerChaos` directives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    LeaseConfig,
+    ResultStore,
+    get_experiment,
+    merge_worker_events,
+    run_distributed,
+    run_worker,
+)
+from repro.common.errors import ConfigError
+from repro.faults.chaos import WorkerChaos
+from repro.telemetry.sinks import read_events
+from repro.telemetry.events import JobQuarantined, LeaseAcquired, LeaseExpired
+
+TINY_SCALE = "0.02"
+
+
+@pytest.fixture(autouse=True)
+def _tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", TINY_SCALE)
+
+
+def _serial_text(target, specs, **options) -> str:
+    results = []
+    from repro.campaign import execute_spec
+
+    for spec in specs:
+        results.append(execute_spec(spec.as_payload())["result"])
+    return target.assemble_results(specs, results, **options).format()
+
+
+# ------------------------------------------------------------ worker chaos
+
+
+class TestWorkerChaos:
+    def test_parse_grammar(self):
+        chaos = WorkerChaos.parse("kill@2,hang@1:0.5,poison@abcd")
+        assert chaos.kill_after == 2
+        assert chaos.hang_at == 1 and chaos.hang_seconds == 0.5
+        assert chaos.poison == "abcd" and not chaos.poison_raise
+
+    def test_parse_poison_raise(self):
+        chaos = WorkerChaos.parse("poison@ab12:raise")
+        assert chaos.poison == "ab12" and chaos.poison_raise
+
+    @pytest.mark.parametrize("text", [None, "", "none"])
+    def test_parse_empty_means_no_chaos(self, text):
+        assert WorkerChaos.parse(text) is None
+
+    @pytest.mark.parametrize(
+        "text", ["kill@0", "hang@1:-2", "explode@3", "kill@x"]
+    )
+    def test_parse_rejects_bad_grammar(self, text):
+        with pytest.raises(ConfigError):
+            WorkerChaos.parse(text)
+
+    def test_poison_raise_raises_on_matching_hash(self):
+        chaos = WorkerChaos.parse("poison@ab:raise")
+        chaos.before_execute(1, "ffff")  # no match, no effect
+        with pytest.raises(RuntimeError, match="poisoned"):
+            chaos.before_execute(1, "abcd")
+
+
+# -------------------------------------------------------------- run_worker
+
+
+class TestSingleWorkerDrain:
+    def test_drains_a_manifest_to_completion(self, tmp_path):
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)[:4]
+        store = ResultStore(tmp_path)
+        store.write_manifest("table1", specs, {})
+        report = run_worker(store, config=LeaseConfig(ttl=5.0))
+        assert report.committed == 4
+        assert report.failed == 0 and report.fenced == 0
+        done = store.completed([s.content_hash() for s in specs])
+        assert len(done) == 4
+
+    def test_second_drain_is_a_noop(self, tmp_path):
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)[:2]
+        store = ResultStore(tmp_path)
+        store.write_manifest("table1", specs, {})
+        run_worker(store)
+        again = run_worker(store)
+        assert again.committed == 0
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="manifest"):
+            run_worker(ResultStore(tmp_path))
+
+
+# --------------------------------------------------------- run_distributed
+
+
+class TestDistributedDrain:
+    def test_requires_two_workers(self, tmp_path):
+        specs = get_experiment("table1").jobs(refs=1000)[:1]
+        with pytest.raises(ConfigError, match=">= 2"):
+            run_distributed(ResultStore(tmp_path), specs,
+                            campaign="table1", workers=1)
+
+    def test_clean_drain_matches_serial_byte_for_byte(self, tmp_path):
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)
+        store = ResultStore(tmp_path)
+        outcome = run_distributed(
+            store, specs, campaign="table1", workers=3,
+            config=LeaseConfig(ttl=5.0),
+        )
+        assert outcome.completed == len(specs)
+        assert not outcome.degraded
+        text = target.assemble_results(
+            specs, outcome.results_in_order(store)
+        ).format()
+        assert text == _serial_text(target, specs)
+
+    def test_sigkilled_worker_is_reclaimed_and_output_identical(
+        self, tmp_path
+    ):
+        """The satellite scenario: a worker dies mid-job holding a lease;
+        a peer notices the expiry, reclaims, and the campaign output is
+        byte-identical to serial."""
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)
+        store = ResultStore(tmp_path)
+        outcome = run_distributed(
+            store, specs, campaign="table1", workers=3,
+            config=LeaseConfig(ttl=0.5),
+            record_events=True,
+            worker_chaos=["kill@2", None, None],
+        )
+        # SIGKILL shows up as a negative exitcode on the saboteur.
+        assert any(code not in (0, 1) for code in outcome.exitcodes)
+        assert outcome.completed == len(specs)
+        assert not outcome.degraded
+        text = target.assemble_results(
+            specs, outcome.results_in_order(store)
+        ).format()
+        assert text == _serial_text(target, specs)
+        # The death is visible in the telemetry: a LeaseExpired for the
+        # killed owner, and a reclaimed LeaseAcquired with a bumped token.
+        merged = tmp_path / "events.jsonl"
+        assert merge_worker_events(store.root, merged) > 0
+        events = list(read_events(merged))
+        expiries = [e for e in events if isinstance(e, LeaseExpired)]
+        assert expiries, "the killed worker's lease never expired"
+        reclaims = [
+            e for e in events
+            if isinstance(e, LeaseAcquired) and e.reclaimed
+        ]
+        assert any(e.token >= 2 for e in reclaims)
+
+    def test_hung_worker_loses_its_lease_but_drain_completes(self, tmp_path):
+        """job_timeout turns a hang into an expiry; the woken zombie's
+        commit is fenced (or stands down) and correctness holds."""
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)[:6]
+        store = ResultStore(tmp_path)
+        outcome = run_distributed(
+            store, specs, campaign="table1", workers=2,
+            config=LeaseConfig(ttl=0.4, job_timeout=0.2),
+            worker_chaos=["hang@1:1.5", None],
+        )
+        assert outcome.completed == len(specs)
+        assert not outcome.degraded
+        text = target.assemble_results(
+            specs, outcome.results_in_order(store)
+        ).format()
+        assert text == _serial_text(target, specs)
+
+    def test_clock_skewed_worker_cannot_corrupt_the_drain(self, tmp_path):
+        """A fast clock reclaims early and races the live owner; fencing
+        plus determinism keep the results correct anyway."""
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)
+        store = ResultStore(tmp_path)
+        outcome = run_distributed(
+            store, specs, campaign="table1", workers=3,
+            config=LeaseConfig(ttl=2.0),
+            worker_skews=[30.0, 0.0, -30.0],
+        )
+        assert outcome.completed == len(specs)
+        text = target.assemble_results(
+            specs, outcome.results_in_order(store)
+        ).format()
+        assert text == _serial_text(target, specs)
+
+    def test_tenancy_experiment_converges_too(self, tmp_path):
+        """Acceptance asks for >= 2 registry experiments; tenancy is the
+        second (its jobs exercise a different execute path)."""
+        target = get_experiment("tenancy")
+        options = {"tenants": [10], "churn": [0.0], "skew": [0.5]}
+        specs = target.jobs(**options)
+        store = ResultStore(tmp_path)
+        outcome = run_distributed(
+            store, specs, campaign="tenancy", workers=2,
+            options=options, config=LeaseConfig(ttl=1.0),
+            worker_chaos=["kill@1", None],
+        )
+        assert outcome.completed == len(specs)
+        text = target.assemble_results(
+            specs, outcome.results_in_order(store), **options
+        ).format()
+        assert text == _serial_text(target, specs, **options)
+
+
+# -------------------------------------------------------------- quarantine
+
+
+class TestPoisonQuarantine:
+    def test_poison_job_is_parked_and_campaign_degrades(self, tmp_path):
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)[:5]
+        store = ResultStore(tmp_path)
+        poison = specs[0].content_hash()[:8]
+        chaos = f"poison@{poison}:raise"
+        outcome = run_distributed(
+            store, specs, campaign="table1", workers=2,
+            config=LeaseConfig(ttl=0.5, max_reclaims=2),
+            record_events=True,
+            worker_chaos=[chaos, chaos],
+        )
+        assert outcome.degraded
+        assert outcome.completed == len(specs) - 1
+        assert len(outcome.quarantined) == 1
+        record = outcome.quarantined[0]
+        assert record["job"] == specs[0].content_hash()
+        assert record["attempts"] == 2
+        assert all(e["reason"] == "failed" for e in record["history"])
+        report = outcome.degraded_report()
+        assert "DEGRADED" in report and poison[:8] in report
+        assert "poisoned" in report  # the last error is named
+        # The quarantine event made it into telemetry.
+        merged = tmp_path / "events.jsonl"
+        merge_worker_events(store.root, merged)
+        parked = [
+            e for e in read_events(merged) if isinstance(e, JobQuarantined)
+        ]
+        assert len(parked) == 1 and parked[0].attempts == 2
+
+    def test_sigkill_crash_loop_quarantines(self, tmp_path):
+        """A job that SIGKILLs every worker that touches it must not
+        crash-loop the fleet forever."""
+        target = get_experiment("table1")
+        specs = target.jobs(refs=1000)[:3]
+        store = ResultStore(tmp_path)
+        poison = specs[0].content_hash()[:8]
+        chaos = f"poison@{poison}"  # SIGKILL flavour, not raise
+        # Two deaths exhaust the budget; the *third* worker quarantines
+        # at the reclaim decision and never touches the job itself.
+        outcome = run_distributed(
+            store, specs, campaign="table1", workers=3,
+            config=LeaseConfig(ttl=0.4, max_reclaims=2),
+            worker_chaos=[chaos, chaos, chaos],
+        )
+        assert outcome.degraded
+        assert outcome.completed == len(specs) - 1
+        record = outcome.quarantined[0]
+        assert record["attempts"] == 2
+        assert all(e["reason"] == "expired" for e in record["history"])

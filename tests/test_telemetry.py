@@ -298,6 +298,68 @@ class TestJsonlRoundTrip:
         assert "error" in capsys.readouterr().err
 
 
+class TestLeaseRendering:
+    """``repro inspect`` on a distributed drain's lease events."""
+
+    @staticmethod
+    def _events():
+        from repro.telemetry.events import (
+            JobQuarantined,
+            LeaseAcquired,
+            LeaseExpired,
+        )
+
+        return [
+            LeaseAcquired(campaign="t", job="a" * 64, owner="w0", token=1,
+                          reclaimed=False, at=100.0),
+            LeaseExpired(campaign="t", job="a" * 64, owner="w0", token=1,
+                         age=12.5, by="w1", at=115.0),
+            LeaseAcquired(campaign="t", job="a" * 64, owner="w1", token=2,
+                          reclaimed=True, at=115.0),
+            JobQuarantined(campaign="t", job="b" * 64, attempts=3,
+                           owners=["w0", "w1", "w0"], at=120.0),
+        ]
+
+    def test_lease_timeline_sorted_and_labelled(self):
+        report = replay_events(self._events())
+        table = report.lease_table()
+        lines = table.splitlines()
+        assert "Lease timeline" in lines[0]
+        body = [line for line in lines if "aaaaaaaa" in line]
+        assert len(body) == 3
+        # Relative wall-clock ordering: acquire at 0, expiry at +15.
+        assert body[0].startswith("0.00") and "acquire" in body[0]
+        assert body[1].startswith("15.00") and "expired" in body[1]
+        assert "stale 12.5s, noticed by w1" in body[1]
+        assert "reclaim" in body[2]
+
+    def test_quarantine_section_names_the_crash_loop(self):
+        report = replay_events(self._events())
+        section = report.quarantine_section()
+        assert "Quarantined jobs" in section
+        assert "w0, w1, w0" in section
+        assert "degraded" in section
+
+    def test_format_includes_lease_sections(self):
+        out = replay_events(self._events()).format()
+        assert "leases: 2 acquisition(s), 1 expir(y/ies), 1 job(s)" in out
+        assert "Lease timeline" in out
+        assert "Quarantined jobs" in out
+        # A lease-only stream must not trip the no-epochs warning.
+        assert "no epoch rollovers" not in out
+
+    def test_inspect_cli_on_distributed_stream(self, tmp_path, capsys):
+        path = tmp_path / "lease-events.jsonl"
+        sink = JsonlSink(path)
+        bus = EventBus([sink], epoch_refs=0)
+        for event in self._events():
+            bus.emit(event)
+        bus.close()
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Lease timeline (distributed drain)" in out
+
+
 class TestReportAnalysis:
     def test_oscillation_count(self):
         decisions = [
